@@ -1,0 +1,133 @@
+"""Shared benchmark infrastructure.
+
+Benchmarks print the rows/series the paper's tables and figures report.
+Default sizes finish the whole suite in minutes; set ``REPRO_SCALE`` to
+raise trial counts toward paper scale.  Cached computations (the r=100%
+baselines) are shared across benchmark modules within one pytest run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.analysis import DetectionExperiment
+from repro.core.pacer import PacerDetector
+from repro.core.sampling import BiasCorrectedController
+from repro.detectors import FastTrackDetector
+from repro.sim.runtime import Runtime, RuntimeConfig
+from repro.sim.scheduler import Scheduler
+from repro.sim.workloads import WORKLOADS, WorkloadSpec, build_program
+from repro.util.config import scale, scaled_trials
+
+QUICK = RuntimeConfig(track_memory=False)
+
+#: workload size multipliers for accuracy experiments (hsqldb is heavy)
+ACCURACY_SCALE = {"eclipse": 0.7, "hsqldb": 0.5, "xalan": 0.7, "pseudojbb": 0.7}
+
+#: sampling rates evaluated in the accuracy figures
+ACCURACY_RATES = [0.01, 0.03, 0.10, 0.25]
+
+
+def accuracy_spec(name: str) -> WorkloadSpec:
+    return WORKLOADS[name].scaled(ACCURACY_SCALE.get(name, 0.7))
+
+
+@lru_cache(maxsize=None)
+def baseline_experiment(name: str) -> DetectionExperiment:
+    """The shared fully-sampled baseline for one workload (cached)."""
+    exp = DetectionExperiment(
+        accuracy_spec(name),
+        full_trials=scaled_trials(12, minimum=6),
+        config=QUICK,
+    )
+    exp.run_baseline()
+    return exp
+
+
+@lru_cache(maxsize=None)
+def rate_accuracy(name: str, rate: float, trials: int):
+    """Cached PACER accuracy run for (workload, rate)."""
+    exp = baseline_experiment(name)
+    return exp.run_rate(rate, trials=trials, seed_base=40_000 + int(rate * 1000))
+
+
+def accuracy_trials(rate: float) -> int:
+    """Trial count per rate: a scaled-down §5.1 formula."""
+    base = min(max(int(0.6 / rate), 10), 40)
+    return scaled_trials(base, minimum=4)
+
+
+@lru_cache(maxsize=None)
+def recorded_trace(name: str, trial_seed: int = 0, size: float = 0.7) -> tuple:
+    """A fixed recorded trace of one workload (for replay timing)."""
+    spec = WORKLOADS[name].scaled(size)
+    events: List = []
+    scheduler = Scheduler(build_program(spec, trial_seed), seed=trial_seed,
+                          sink=events.append)
+    scheduler.run()
+    return tuple(events)
+
+
+def pacer_with_rate(rate: float, seed: int = 0) -> Tuple[PacerDetector, BiasCorrectedController]:
+    detector = PacerDetector()
+    controller = BiasCorrectedController(rate, rng=random.Random(seed))
+    return detector, controller
+
+
+def run_workload(name: str, detector, controller=None, trial_seed: int = 0,
+                 config: RuntimeConfig = QUICK, size: float = 0.7) -> Runtime:
+    spec = WORKLOADS[name].scaled(size)
+    runtime = Runtime(
+        build_program(spec, trial_seed),
+        detector,
+        controller=controller,
+        config=config,
+        seed=trial_seed,
+    )
+    runtime.run()
+    return runtime
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def marked_trace(name: str, rate: float, period: int = 400,
+                 trial_seed: int = 0, size: float = 0.7) -> list:
+    """A recorded trace with sampling-period markers inserted.
+
+    Splits the trace into fixed-size periods and marks a deterministic
+    fraction ``rate`` of them as sampling periods (spread evenly), so
+    replay benchmarks measure PACER at an exact effective rate.
+    """
+    from repro.trace.events import sbegin, send
+
+    base = recorded_trace(name, trial_seed, size)
+    n_periods = max(1, (len(base) + period - 1) // period)
+    sampled = set()
+    if rate >= 1.0:
+        sampled = set(range(n_periods))
+    elif rate > 0:
+        want = max(1, round(rate * n_periods))
+        step = n_periods / want
+        sampled = {int(i * step) for i in range(want)}
+    events = []
+    sampling = False
+    for i in range(n_periods):
+        should = i in sampled
+        if should and not sampling:
+            events.append(sbegin())
+            sampling = True
+        elif not should and sampling:
+            events.append(send())
+            sampling = False
+        events.extend(base[i * period:(i + 1) * period])
+    if sampling:
+        events.append(send())
+    return events

@@ -1,0 +1,104 @@
+"""Ablations of PACER's three overhead mechanisms (our addition).
+
+DESIGN.md calls out three design choices that make non-sampling periods
+cheap; each is individually disableable:
+
+* **version epochs** (``use_versions=False``): joins lose the O(1) skip
+  and must compare clocks;
+* **clock sharing** (``use_sharing=False``): lock releases deep-copy;
+* **metadata discard** (``discard_metadata=False``): variable metadata is
+  never freed, so the fast path stops firing and space grows.
+
+Each ablation must leave *reports unchanged* (the mechanisms are pure
+optimizations) while measurably worsening the relevant cost.
+"""
+
+import pytest
+
+from _common import marked_trace, print_banner
+from repro.analysis import render_table
+from repro.core.pacer import PacerDetector
+
+WORKLOAD = "eclipse"
+RATE = 0.10
+
+
+def run_variant(**kwargs):
+    events = marked_trace(WORKLOAD, RATE, period=1500, size=2.0)
+    detector = PacerDetector(**kwargs)
+    detector.run(events)
+    return detector
+
+
+def compute():
+    return {
+        "full pacer": run_variant(),
+        "no versions": run_variant(use_versions=False),
+        "no sharing": run_variant(use_sharing=False),
+        "no discard": run_variant(discard_metadata=False),
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_mechanisms(benchmark):
+    variants = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_banner(f"Ablation: PACER mechanisms ({WORKLOAD}, r={RATE:.0%} replay)")
+    rows = []
+    for label, det in variants.items():
+        c = det.counters
+        rows.append(
+            [
+                label,
+                c.joins_slow_nonsampling,
+                c.joins_fast_nonsampling,
+                c.copies_deep_nonsampling,
+                c.copies_shallow_nonsampling,
+                c.reads_fast_nonsampling + c.writes_fast_nonsampling,
+                det.tracked_variables,
+                det.footprint_words(),
+                len(det.races),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "variant",
+                "slow joins(non)",
+                "fast joins(non)",
+                "deep copies(non)",
+                "shallow copies(non)",
+                "fast-path accesses",
+                "tracked vars",
+                "footprint words",
+                "races",
+            ],
+            rows,
+        )
+    )
+
+    full = variants["full pacer"]
+    reports = {(r.var, r.kind, r.first_site, r.second_site) for r in full.races}
+    for label, det in variants.items():
+        got = {(r.var, r.kind, r.first_site, r.second_site) for r in det.races}
+        assert got == reports, f"{label} changed the reported races"
+
+    # versions: without them, slow joins explode
+    assert (
+        variants["no versions"].counters.joins_slow_nonsampling
+        > 2 * full.counters.joins_slow_nonsampling
+    )
+    # sharing: without it, every non-sampling release deep-copies
+    assert variants["no sharing"].counters.copies_deep_nonsampling > 0
+    assert full.counters.copies_deep_nonsampling == 0
+    assert (
+        variants["no sharing"].footprint_words() > full.footprint_words()
+    )
+    # discard: without it, metadata accumulates and the fast path misses
+    assert variants["no discard"].tracked_variables > 3 * max(
+        full.tracked_variables, 1
+    )
+    no_discard = variants["no discard"].counters
+    assert (
+        no_discard.reads_fast_nonsampling + no_discard.writes_fast_nonsampling
+        < full.counters.reads_fast_nonsampling + full.counters.writes_fast_nonsampling
+    )

@@ -1,0 +1,77 @@
+"""Core-operation complexity: the O(1) vs O(n) claims, measured.
+
+The paper's complexity arguments (§2-3) reduce to a few primitive costs:
+
+* epoch comparison (`c@t ⪯ C`) and version-epoch checks are O(1) in the
+  thread count;
+* vector-clock joins, deep copies, and read-map checks in shared mode
+  are O(n);
+* PACER's non-sampling access fast path is O(1) and tiny.
+
+This bench times the primitives directly at several thread counts and
+asserts the scaling split: O(n) operations grow with n, O(1) operations
+do not (within generous noise bounds).
+"""
+
+import time
+
+import pytest
+
+from _common import print_banner
+from repro.analysis import render_table
+from repro.core.clocks import Epoch, VectorClock, epoch_leq_vc
+from repro.core.pacer import PacerDetector
+
+THREAD_COUNTS = [8, 64, 512]
+REPS = 20_000
+
+
+def _time_op(fn, reps=REPS):
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - start) / reps
+
+
+def _clock(n):
+    return VectorClock(list(range(1, n + 1)))
+
+
+def measure(n):
+    a, b = _clock(n), _clock(n)
+    epoch = Epoch(n // 2, n // 2)
+    out = {}
+    out["epoch_leq (O(1))"] = _time_op(lambda: epoch_leq_vc(epoch, a))
+    out["vc_leq (O(n))"] = _time_op(lambda: a.leq(b), reps=REPS // 4)
+    out["vc_join (O(n))"] = _time_op(lambda: a.join(b), reps=REPS // 4)
+    out["vc_copy (O(n))"] = _time_op(lambda: a.copy(), reps=REPS // 4)
+
+    pacer = PacerDetector(sampling=False)
+    for tid in range(n):
+        pacer._thread_meta(tid)
+    out["pacer fast path (O(1))"] = _time_op(lambda: pacer.read(0, 12345))
+    return out
+
+
+@pytest.mark.benchmark(group="core-ops")
+def test_core_operation_scaling(benchmark):
+    data = benchmark.pedantic(
+        lambda: {n: measure(n) for n in THREAD_COUNTS}, rounds=1, iterations=1
+    )
+    print_banner("Core operation costs vs thread count (ns/op)")
+    ops = list(data[THREAD_COUNTS[0]])
+    rows = [
+        [op] + [f"{data[n][op] * 1e9:.0f}" for n in THREAD_COUNTS] for op in ops
+    ]
+    print(render_table(["operation"] + [f"n={n}" for n in THREAD_COUNTS], rows))
+
+    small, large = THREAD_COUNTS[0], THREAD_COUNTS[-1]
+    for op in ops:
+        growth = data[large][op] / data[small][op]
+        if "O(n)" in op:
+            # element-count-dependent: measurably grows over 64x threads
+            # (constants dominate C-level copies, so the bar is modest)
+            assert growth > 3.0, (op, growth)
+        else:
+            # constant-time: essentially flat over 64x threads
+            assert growth < 3.0, (op, growth)

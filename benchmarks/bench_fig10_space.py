@@ -1,0 +1,94 @@
+"""Figure 10: live memory over normalized time for eclipse.
+
+Paper: total live space for Base < OM-only < PACER r=1% < 3% < 10% <
+25% < 100%, with PACER's metadata scaling with the sampling rate because
+non-sampling periods discard metadata; LiteRace, which samples *code*
+and never discards, uses almost as much space at a ~1% effective rate as
+full tracking.
+"""
+
+import random
+
+import pytest
+
+from _common import print_banner
+from repro.analysis import render_series
+from repro.analysis.tables import mean
+from repro.core.pacer import PacerDetector
+from repro.core.sampling import BiasCorrectedController
+from repro.detectors import FastTrackDetector, LiteRaceDetector, NullDetector
+from repro.sim.runtime import Runtime, RuntimeConfig
+from repro.sim.workloads import ECLIPSE, build_program
+
+SPEC = ECLIPSE.scaled(1.5)
+CONFIG = RuntimeConfig(track_memory=True, full_gc_every=4)
+RATES = [0.01, 0.03, 0.10, 0.25]
+
+
+def run_config(label):
+    controller = None
+    count_headers = True
+    if label == "base":
+        detector = NullDetector()
+        count_headers = False
+    elif label == "om-only":
+        detector = NullDetector()
+    elif label == "literace":
+        detector = LiteRaceDetector(burst_length=100, seed=7)
+    elif label == "r=100%":
+        detector = FastTrackDetector()
+    else:
+        rate = float(label[2:-1]) / 100.0
+        detector = PacerDetector()
+        controller = BiasCorrectedController(rate, rng=random.Random(11))
+    runtime = Runtime(
+        build_program(SPEC, 0),
+        detector,
+        controller=controller,
+        config=CONFIG,
+        seed=0,
+        count_headers=count_headers,
+    )
+    runtime.run()
+    return runtime
+
+
+def compute():
+    labels = ["base", "om-only"] + [f"r={int(r * 100)}%" for r in RATES] + [
+        "r=100%",
+        "literace",
+    ]
+    out = {}
+    for label in labels:
+        runtime = run_config(label)
+        series = [(s.step, s.total_words) for s in runtime.snapshots]
+        meta = [s.metadata_words for s in runtime.snapshots]
+        out[label] = (series, mean(meta), getattr(runtime.detector, "effective_rate", None))
+    return out
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_space_over_time(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_banner(f"Figure 10: live memory over normalized time (eclipse)")
+    for label, (series, mean_meta, eff) in data.items():
+        steps = [s for s, _ in series]
+        total = max(steps) if steps else 1
+        xs = [f"{s / total:.2f}" for s, _ in series][:: max(1, len(series) // 6)]
+        ys = [w for _, w in series][:: max(1, len(series) // 6)]
+        suffix = f" (effective rate {eff:.2%})" if eff is not None else ""
+        print(render_series(f"{label}: words over normalized time{suffix}", xs, ys))
+
+    means = {label: mean_meta for label, (_s, mean_meta, _e) in data.items()}
+    # metadata grows with the sampling rate
+    assert means["base"] == 0
+    assert means["om-only"] == 0
+    assert means["r=1%"] <= means["r=10%"] <= means["r=100%"]
+    assert means["r=3%"] <= means["r=25%"] <= means["r=100%"]
+    # PACER at small rates uses a small fraction of full-tracking space
+    assert means["r=1%"] < 0.35 * means["r=100%"]
+    # LiteRace at a ~1% effective rate keeps most of the metadata anyway
+    lr_eff = data["literace"][2]
+    assert lr_eff is not None and lr_eff < 0.25
+    assert means["literace"] > 4 * means["r=1%"]
+    assert means["literace"] > 0.3 * means["r=100%"]

@@ -1,0 +1,62 @@
+"""Figure 3: PACER's detection rate for *dynamic* races vs sampling rate.
+
+Paper: the average dynamic detection rate across evaluation races tracks
+the specified/effective sampling rate — the headline proportionality
+("get what you pay for") result.
+"""
+
+import pytest
+
+from _common import (
+    ACCURACY_RATES,
+    accuracy_trials,
+    baseline_experiment,
+    print_banner,
+    rate_accuracy,
+)
+from repro.analysis import render_table
+from repro.sim.workloads import WORKLOADS
+
+
+def compute():
+    rows = {}
+    for name in sorted(WORKLOADS):
+        exp = baseline_experiment(name)
+        per_rate = []
+        for rate in ACCURACY_RATES:
+            acc = rate_accuracy(name, rate, accuracy_trials(rate))
+            per_rate.append(
+                (
+                    rate,
+                    acc.mean_effective_rate,
+                    acc.dynamic_detection_rate(exp.baseline_dynamic),
+                )
+            )
+        rows[name] = per_rate
+    return rows
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_dynamic_detection_rate(benchmark):
+    data = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_banner("Figure 3: dynamic-race detection rate vs sampling rate")
+    table = []
+    for name, series in data.items():
+        for rate, eff, dyn in series:
+            table.append([name, f"{rate:.0%}", f"{eff:.3%}", f"{dyn:.3%}"])
+    print(
+        render_table(
+            ["program", "specified r", "effective r", "dynamic detection"], table
+        )
+    )
+    for name, series in data.items():
+        detections = [dyn for _, _, dyn in series]
+        # monotone in the sampling rate ...
+        assert all(b >= a - 0.02 for a, b in zip(detections, detections[1:])), name
+        # ... and roughly proportional: detection within a small factor of
+        # the achieved (effective) rate at every point.
+        for rate, eff, dyn in series:
+            reference = max(eff, 1e-4)
+            assert dyn <= 3.5 * reference + 0.02, (name, rate, eff, dyn)
+            if eff > 0.005:
+                assert dyn >= 0.25 * reference - 0.02, (name, rate, eff, dyn)

@@ -1,0 +1,113 @@
+"""Figures 8 and 9: slowdown vs sampling rate, r = 0-100%.
+
+Paper: overhead grows roughly linearly with r (Figure 8 over the full
+range, Figure 9 zoomed into 0-10%); the r=100% endpoint is FASTTRACK-like
+full analysis (8-12x there, scaled by implementation constants).
+"""
+
+import time
+
+import pytest
+
+from _common import marked_trace, print_banner
+from repro.analysis import render_series
+from repro.core.pacer import PacerDetector
+from repro.core.stats import CostModel
+from repro.detectors import FastTrackDetector, NullDetector
+
+WORKLOAD = "xalan"
+PERIOD = 1000
+SIZE = 2.0
+RATES = [0.0, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 1.0]
+ZOOM = [r for r in RATES if r <= 0.10]
+
+
+def _time(fn, *args, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def compute():
+    base_events = marked_trace(WORKLOAD, 0.0, period=PERIOD, size=SIZE)
+    base_time = _time(lambda: NullDetector().run(base_events))
+    points = []
+    for rate in RATES:
+        events = marked_trace(WORKLOAD, rate, period=PERIOD, size=SIZE)
+        elapsed = _time(lambda ev=events: PacerDetector().run(ev))
+        detector = PacerDetector()
+        detector.run(events)
+        model = CostModel().cost(detector.counters, detector.n_threads)
+        points.append((rate, elapsed / base_time, model / len(events)))
+    ft_time = _time(lambda: FastTrackDetector().run(base_events))
+    return points, base_time, ft_time / base_time
+
+
+@pytest.mark.benchmark(group="fig8-9")
+def test_fig8_fig9_slowdown_vs_rate(benchmark):
+    points, base_time, ft_slowdown = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    print_banner(f"Figures 8/9: slowdown vs sampling rate ({WORKLOAD}, replay)")
+    print(
+        render_series(
+            "measured slowdown (vs uninstrumented replay)",
+            [f"r={r:.0%}" for r, *_ in points],
+            [s for _, s, _ in points],
+        )
+    )
+    print(
+        render_series(
+            "modelled overhead (work units per program op)",
+            [f"r={r:.0%}" for r, *_ in points],
+            [m for *_x, m in points],
+        )
+    )
+    print(f"FASTTRACK full-analysis slowdown: {ft_slowdown:.2f}x")
+
+    slowdowns = [s for _, s, _ in points]
+    model = [m for *_x, m in points]
+    # monotone in r (small timing jitter tolerated)
+    assert all(b >= a * 0.92 for a, b in zip(slowdowns, slowdowns[1:]))
+    assert model == sorted(model)
+    # r=100% costs a substantial factor more than r=0 (paper: 33% -> 12x)
+    assert slowdowns[-1] > 2.0 * slowdowns[0]
+    # r=100% PACER is in FASTTRACK's cost neighbourhood
+    assert slowdowns[-1] > 0.5 * ft_slowdown
+    # rough linearity (Figure 8): the model cost between r=10% and r=100%
+    # scales within 3x of proportionally
+    r10 = next(m for r, _s, m in points if r == 0.10)
+    r100 = model[-1]
+    growth = (r100 - model[0]) / max(r10 - model[0], 1e-9)
+    assert 2.5 < growth < 30.0  # ~10x more sampling -> ~10x more added cost
+
+
+@pytest.mark.benchmark(group="fig9-zoom")
+def test_fig9_low_rate_zoom(benchmark):
+    def zoom():
+        out = []
+        for rate in ZOOM:
+            events = marked_trace(WORKLOAD, rate, period=PERIOD, size=SIZE)
+            detector = PacerDetector()
+            detector.run(events)
+            out.append(
+                (rate, CostModel().cost(detector.counters, detector.n_threads))
+            )
+        return out
+
+    points = benchmark.pedantic(zoom, rounds=1, iterations=1)
+    print_banner("Figure 9 (zoom, r=0-10%): modelled analysis cost")
+    print(
+        render_series(
+            "model cost",
+            [f"r={r:.0%}" for r, _ in points],
+            [c for _, c in points],
+        )
+    )
+    costs = [c for _, c in points]
+    assert costs == sorted(costs)
+    # in the low-rate regime added cost stays small relative to r=10%
+    assert costs[1] - costs[0] < 0.5 * (costs[-1] - costs[0])

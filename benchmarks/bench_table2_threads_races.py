@@ -1,0 +1,84 @@
+"""Table 2: thread counts and race counts.
+
+Paper (per program): total threads / max live threads; distinct races
+observed in ≥1 and ≥5 of *all* trials, and in ≥1 / ≥5 / ≥25 of the 50
+fully-sampled trials.  Our thread columns match the paper exactly (the
+workloads are calibrated to them); race columns reproduce the *shape*:
+a long occurrence tail for eclipse/xalan, full reproducibility for
+hsqldb/pseudojbb.
+"""
+
+import pytest
+
+from _common import QUICK, baseline_experiment, print_banner, rate_accuracy, accuracy_trials
+from repro.analysis import render_table, run_trial
+from repro.sim.workloads import WORKLOADS
+
+PAPER = {
+    # name: (total, max_live, >=1_all, >=5_all, r100_ge1, r100_ge5, r100_ge25)
+    "eclipse": (16, 8, 77, 50, 55, 44, 27),
+    "hsqldb": (403, 102, 28, 28, 23, 23, 23),
+    "xalan": (9, 9, 73, 38, 70, 34, 19),
+    "pseudojbb": (37, 9, 14, 14, 14, 14, 11),
+}
+
+
+def compute_rows():
+    rows = []
+    for name in sorted(WORKLOADS):
+        spec = WORKLOADS[name]
+        exp = baseline_experiment(name)
+        counts = exp.occurrence_counts()
+        n = exp.full_trials
+        ge1 = sum(1 for c in counts.values() if c >= 1)
+        ge_tenth = sum(1 for c in counts.values() if c >= max(1, n // 10))
+        ge_half = sum(1 for c in counts.values() if c >= n / 2)
+        # pooled sampled trials widen the ">= 1 anywhere" column
+        pooled = set(counts)
+        acc = rate_accuracy(name, 0.25, accuracy_trials(0.25))
+        pooled |= set(acc.distinct_mean)
+        rows.append(
+            [
+                name,
+                spec.threads_total,
+                spec.max_live,
+                len(pooled),
+                ge1,
+                ge_tenth,
+                ge_half,
+                f"(paper {PAPER[name][0]}/{PAPER[name][1]}, races {PAPER[name][2]})",
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_threads_and_races(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_banner("Table 2: thread counts and race counts")
+    print(
+        render_table(
+            [
+                "program",
+                "threads total",
+                "max live",
+                "races >=1 (pooled)",
+                "races >=1 (full)",
+                "races >=10% trials",
+                "races >=50% trials",
+                "paper",
+            ],
+            rows,
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    for name, (total, max_live, *_rest) in PAPER.items():
+        row = by_name[name]
+        assert row[1] == total  # thread columns match the paper exactly
+        assert row[2] == max_live
+        # occurrence tail: strictly fewer races clear higher thresholds
+        assert row[4] >= row[5] >= row[6] > 0
+    # eclipse/xalan have long tails; hsqldb/pseudojbb are reproducible
+    assert by_name["xalan"][4] > by_name["xalan"][6]
+    assert by_name["hsqldb"][6] >= 20
+    assert by_name["pseudojbb"][6] >= 9

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Side-by-side comparison of every detector in the suite.
+
+Runs one eclipse-like trial through GENERIC, Djit⁺, FASTTRACK, PACER
+(several rates), online LiteRace, and the Eraser lockset baseline, and
+prints what the paper's Sections 2 and 6 argue qualitatively:
+
+* the precise detectors agree on which variables race;
+* Eraser reports false positives on fork/join and volatile idioms;
+* PACER's work and space scale with the sampling rate;
+* LiteRace's space does not (it samples code, not data).
+
+Run:  python examples/detector_comparison.py
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.core.pacer import PacerDetector
+from repro.core.sampling import BiasCorrectedController
+from repro.detectors import (
+    DjitPlusDetector,
+    EraserDetector,
+    FastTrackDetector,
+    GenericDetector,
+    GoldilocksDetector,
+    LiteRaceDetector,
+)
+from repro.sim.runtime import Runtime, RuntimeConfig
+from repro.sim.workloads import ECLIPSE, build_program, fork_join_tree
+from repro.sim.scheduler import run_program
+
+CONFIG = RuntimeConfig(track_memory=False)
+
+
+def run(detector, rate=None, seed=0):
+    controller = None
+    if rate is not None:
+        controller = BiasCorrectedController(rate, rng=random.Random(seed))
+    runtime = Runtime(
+        build_program(ECLIPSE.scaled(0.7), seed),
+        detector,
+        controller=controller,
+        config=CONFIG,
+        seed=seed,
+    )
+    runtime.run()
+    counters = detector.counters
+    slow = (
+        counters.reads_slow_sampling
+        + counters.reads_slow_nonsampling
+        + counters.writes_slow_sampling
+        + counters.writes_slow_nonsampling
+    )
+    return [
+        detector.name if rate is None else f"pacer r={rate:.0%}",
+        len(detector.races),
+        len({r.var for r in detector.races}),
+        slow,
+        detector.footprint_words(),
+    ]
+
+
+def main() -> None:
+    rows = [
+        run(GenericDetector()),
+        run(DjitPlusDetector()),
+        run(FastTrackDetector()),
+        run(GoldilocksDetector()),
+        run(LiteRaceDetector(burst_length=100, seed=0)),
+        run(EraserDetector()),
+        run(PacerDetector(), rate=0.01),
+        run(PacerDetector(), rate=0.10),
+        run(PacerDetector(), rate=1.00),
+    ]
+    print(
+        render_table(
+            [
+                "detector",
+                "race reports",
+                "racy variables",
+                "slow-path accesses",
+                "metadata words",
+            ],
+            rows,
+            title="One eclipse-like trial, identical schedule:",
+        )
+    )
+
+    print("\nPrecision check (fork/join tree is race-free):")
+    tree = run_program(fork_join_tree(depth=3, work=8), seed=1)
+    for detector in (FastTrackDetector(), EraserDetector()):
+        detector.run(tree)
+        verdict = "clean" if not detector.races else f"{len(detector.races)} reports"
+        note = "" if not detector.races else "  <-- lockset false positives"
+        print(f"  {detector.name:10s}: {verdict}{note}")
+
+    print(
+        "\nTakeaways: the happens-before detectors agree on racy variables;"
+        "\nPACER's slow-path work and metadata shrink with r; Eraser is fast"
+        "\nbut imprecise, which is exactly why the paper insists on precision."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: detect a data race three ways.
+
+1. Analyze a hand-written event trace with FASTTRACK.
+2. Run PACER on the same trace and watch the sampling guarantee at work.
+3. Point the detectors at a real simulated program.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FastTrackDetector, PacerDetector
+from repro.sim import run_program
+from repro.sim.workloads import counter_race
+from repro.trace.events import acq, fork, join, rd, rel, sbegin, send, wr
+
+COUNTER, LOCK = 1, 100
+
+
+def main() -> None:
+    # -- 1. a tiny racy trace ------------------------------------------------
+    #
+    # Thread 0 writes the counter; thread 1 reads it without ever
+    # synchronizing with thread 0.  The read races with the write.
+    trace = [
+        fork(0, 1),
+        wr(0, COUNTER, site=1),
+        acq(0, LOCK),
+        rel(0, LOCK),
+        rd(1, COUNTER, site=2),  # never acquires LOCK: races with site 1
+        join(0, 1),
+    ]
+    ft = FastTrackDetector()
+    ft.run(trace)
+    print("FASTTRACK on the hand-written trace:")
+    for race in ft.races:
+        print(f"  {race}")
+
+    # -- 2. PACER: you get what you pay for ----------------------------------
+    #
+    # The same race, but now the first access sits inside a global
+    # sampling period.  PACER guarantees to report it, no matter how far
+    # away the second access is, while doing (near-)zero work for
+    # everything outside the period.
+    sampled_trace = [
+        fork(0, 1),
+        sbegin(),
+        wr(0, COUNTER, site=1),  # sampled first access
+        send(),
+        rd(1, COUNTER, site=2),  # non-sampled second access: still reported
+        join(0, 1),
+    ]
+    pacer = PacerDetector()
+    pacer.run(sampled_trace)
+    print("\nPACER (first access sampled):")
+    for race in pacer.races:
+        print(f"  {race}")
+
+    unsampled = PacerDetector()  # no sampling period at all
+    unsampled.run(trace)
+    print(
+        f"\nPACER with sampling off: {len(unsampled.races)} races, "
+        f"{unsampled.counters.reads_fast_nonsampling + unsampled.counters.writes_fast_nonsampling} "
+        "accesses took the inlined fast path (no metadata, no work)"
+    )
+
+    # -- 3. a real (simulated) program ----------------------------------------
+    #
+    # counter_race() is the classic unsynchronized counter, executed by
+    # the deterministic scheduler; any detector consumes the trace.
+    program_trace = run_program(counter_race(n_threads=3, increments=40), seed=7)
+    ft2 = FastTrackDetector()
+    ft2.run(program_trace)
+    print(
+        f"\ncounter_race program: {len(program_trace)} events, "
+        f"{len(ft2.races)} race reports, "
+        f"{len(ft2.distinct_races)} distinct site pairs"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a reproduction of PACER: Proportional Detection of Data Races.
+
+PACER (Bond, Coons & McKinley, PLDI 2010) is a sampling-based, precise
+dynamic data-race detector whose detection probability for every race
+equals its sampling rate, with time and space overheads proportional to
+that rate.
+
+Public entry points:
+
+* :class:`repro.PacerDetector` — the paper's contribution.
+* :class:`repro.FastTrackDetector`, :class:`repro.GenericDetector` — the
+  precise baselines it builds on.
+* :mod:`repro.trace` — the event model, happens-before oracle, and trace
+  generators.
+* :mod:`repro.sim` — the concurrent-program simulator and Table 2
+  workloads.
+* :mod:`repro.analysis` — detection-rate experiments and table rendering.
+"""
+
+from .core.pacer import PacerDetector
+from .core.sampling import (
+    BiasCorrectedController,
+    FixedRateController,
+    ScriptedController,
+)
+from .core.stats import CostModel, OpCounters
+from .detectors.base import Detector, NullDetector, Race, distinct_races
+from .detectors.djit import DjitPlusDetector
+from .detectors.eraser import EraserDetector
+from .detectors.fasttrack import FastTrackDetector
+from .detectors.generic import GenericDetector
+from .detectors.goldilocks import GoldilocksDetector
+from .detectors.literace import LiteRaceDetector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PacerDetector",
+    "FastTrackDetector",
+    "GenericDetector",
+    "DjitPlusDetector",
+    "GoldilocksDetector",
+    "LiteRaceDetector",
+    "EraserDetector",
+    "NullDetector",
+    "Detector",
+    "Race",
+    "distinct_races",
+    "FixedRateController",
+    "BiasCorrectedController",
+    "ScriptedController",
+    "CostModel",
+    "OpCounters",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Experiment drivers, metrics, and table rendering for the evaluation."""
+
+from .experiments import (
+    DetectionExperiment,
+    RateAccuracy,
+    TrialResult,
+    race_id_of,
+    run_trial,
+)
+from .statistics import (
+    binomial_ci_contains,
+    mean_confidence_interval,
+    proportionality_consistent,
+    wilson_interval,
+)
+from .tables import fmt, mean, render_series, render_table, stdev
+
+__all__ = [
+    "DetectionExperiment",
+    "RateAccuracy",
+    "TrialResult",
+    "race_id_of",
+    "run_trial",
+    "render_table",
+    "render_series",
+    "fmt",
+    "mean",
+    "stdev",
+    "wilson_interval",
+    "binomial_ci_contains",
+    "mean_confidence_interval",
+    "proportionality_consistent",
+]

@@ -1,0 +1,236 @@
+"""Experiment drivers for the paper's evaluation (§5).
+
+The central object is :func:`run_trial`, which executes one workload
+trial under one detector configuration via the managed runtime, and
+:class:`DetectionExperiment`, which reproduces the §5.1 methodology:
+
+1. run N fully-sampled (r=100%) trials; the *evaluation races* are the
+   injected races detected in at least half of them;
+2. for each sampling rate r, run ``numTrials_r`` PACER trials and
+   measure, per evaluation race, dynamic and distinct detection rates
+   relative to the fully-sampled baseline (Figures 3-5).
+
+Race identity: the workloads dedicate one variable per injected race
+(``RACY_VAR_BASE + race_id``), so a reported race maps to its race id
+directly — robust across trials and detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core.pacer import PacerDetector
+from ..core.sampling import BiasCorrectedController, SamplingController
+from ..detectors.base import Detector, Race
+from ..detectors.fasttrack import FastTrackDetector
+from ..sim.runtime import Runtime, RuntimeConfig
+from ..sim.workloads.base import RACY_VAR_BASE, WorkloadSpec, build_program
+from ..util.config import num_trials_for_rate, scaled_trials
+
+__all__ = [
+    "race_id_of",
+    "TrialResult",
+    "run_trial",
+    "DetectionExperiment",
+    "RateAccuracy",
+]
+
+
+def race_id_of(race: Race) -> Optional[int]:
+    """Map a reported race to its injected race id (None if background)."""
+    if race.var >= RACY_VAR_BASE and race.var < RACY_VAR_BASE + 100_000:
+        return race.var - RACY_VAR_BASE
+    return None
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one workload trial under one detector."""
+
+    detector: Detector
+    dynamic_counts: Dict[int, int]  # race id -> dynamic reports this trial
+    effective_rate: float
+    events: int
+    threads_started: int
+    max_live_threads: int
+    snapshots: list
+
+    @property
+    def detected_ids(self) -> Set[int]:
+        return set(self.dynamic_counts)
+
+
+def run_trial(
+    spec: WorkloadSpec,
+    detector: Detector,
+    trial_seed: int,
+    controller: Optional[SamplingController] = None,
+    config: Optional[RuntimeConfig] = None,
+) -> TrialResult:
+    """Run one trial of ``spec`` under ``detector`` in the managed runtime."""
+    program = build_program(spec, trial_seed=trial_seed)
+    runtime = Runtime(
+        program,
+        detector,
+        controller=controller,
+        config=config,
+        seed=trial_seed,
+    )
+    runtime.run()
+    counts: Dict[int, int] = {}
+    for race in detector.races:
+        rid = race_id_of(race)
+        if rid is not None:
+            counts[rid] = counts.get(rid, 0) + 1
+    return TrialResult(
+        detector=detector,
+        dynamic_counts=counts,
+        effective_rate=runtime.effective_sampling_rate,
+        events=runtime.events,
+        threads_started=runtime.threads_started,
+        max_live_threads=runtime.max_live_threads,
+        snapshots=runtime.snapshots,
+    )
+
+
+@dataclass
+class RateAccuracy:
+    """Accuracy of one sampling rate against the r=100% baseline."""
+
+    rate: float
+    trials: int
+    effective_rates: List[float]
+    #: per evaluation race: mean dynamic reports per trial
+    dynamic_mean: Dict[int, float]
+    #: per evaluation race: fraction of trials in which it was detected
+    distinct_mean: Dict[int, float]
+
+    def dynamic_detection_rate(self, baseline: Dict[int, float]) -> float:
+        """Unweighted mean over races of (dynamic at r) / (dynamic at 100%)."""
+        ratios = [
+            self.dynamic_mean.get(rid, 0.0) / base
+            for rid, base in baseline.items()
+            if base > 0
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def distinct_detection_rate(self, baseline: Dict[int, float]) -> float:
+        """Unweighted mean over races of (distinct at r) / (distinct at 100%)."""
+        ratios = [
+            self.distinct_mean.get(rid, 0.0) / base
+            for rid, base in baseline.items()
+            if base > 0
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def per_race_rates(self, race_ids: Iterable[int]) -> List[float]:
+        """Distinct detection probability per race, for Figure 5."""
+        return [self.distinct_mean.get(rid, 0.0) for rid in race_ids]
+
+    @property
+    def mean_effective_rate(self) -> float:
+        if not self.effective_rates:
+            return 0.0
+        return sum(self.effective_rates) / len(self.effective_rates)
+
+
+class DetectionExperiment:
+    """The §5.1/§5.2 methodology for one workload."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        full_trials: int = 50,
+        threshold_fraction: float = 0.5,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.spec = spec
+        self.full_trials = scaled_trials(full_trials, minimum=4)
+        self.threshold_fraction = threshold_fraction
+        self.config = config
+        self.baseline_results: List[TrialResult] = []
+        self.evaluation_races: List[int] = []
+        #: per evaluation race: mean dynamic reports per fully-sampled trial
+        self.baseline_dynamic: Dict[int, float] = {}
+        #: per evaluation race: fraction of fully-sampled trials detecting it
+        self.baseline_distinct: Dict[int, float] = {}
+
+    # -- baseline ------------------------------------------------------------
+
+    def run_baseline(
+        self, detector_factory: Callable[[], Detector] = FastTrackDetector
+    ) -> None:
+        """Run the fully-sampled trials and pick the evaluation races."""
+        occurrences: Dict[int, int] = {}
+        dynamic_totals: Dict[int, int] = {}
+        for trial in range(self.full_trials):
+            result = run_trial(
+                self.spec, detector_factory(), trial, config=self.config
+            )
+            self.baseline_results.append(result)
+            for rid, count in result.dynamic_counts.items():
+                occurrences[rid] = occurrences.get(rid, 0) + 1
+                dynamic_totals[rid] = dynamic_totals.get(rid, 0) + count
+        threshold = self.threshold_fraction * self.full_trials
+        self.evaluation_races = sorted(
+            rid for rid, n in occurrences.items() if n >= threshold
+        )
+        self.baseline_dynamic = {
+            rid: dynamic_totals[rid] / self.full_trials
+            for rid in self.evaluation_races
+        }
+        self.baseline_distinct = {
+            rid: occurrences[rid] / self.full_trials
+            for rid in self.evaluation_races
+        }
+
+    def occurrence_counts(self) -> Dict[int, int]:
+        """Race id -> number of fully-sampled trials detecting it."""
+        counts: Dict[int, int] = {}
+        for result in self.baseline_results:
+            for rid in result.detected_ids:
+                counts[rid] = counts.get(rid, 0) + 1
+        return counts
+
+    # -- sampled runs ------------------------------------------------------------
+
+    def run_rate(
+        self,
+        rate: float,
+        trials: Optional[int] = None,
+        seed_base: int = 10_000,
+    ) -> RateAccuracy:
+        """Run PACER at one sampling rate; returns per-race accuracy."""
+        if not self.evaluation_races:
+            raise RuntimeError("run_baseline() first")
+        n = trials if trials is not None else num_trials_for_rate(rate)
+        dynamic_totals: Dict[int, int] = {}
+        distinct_totals: Dict[int, int] = {}
+        effective: List[float] = []
+        for k in range(n):
+            trial_seed = seed_base + k
+            import random as _random
+
+            controller = BiasCorrectedController(
+                rate, rng=_random.Random(trial_seed * 7919 + int(rate * 1e6))
+            )
+            result = run_trial(
+                self.spec,
+                PacerDetector(),
+                trial_seed,
+                controller=controller,
+                config=self.config,
+            )
+            effective.append(result.effective_rate)
+            for rid, count in result.dynamic_counts.items():
+                if rid in self.baseline_dynamic:
+                    dynamic_totals[rid] = dynamic_totals.get(rid, 0) + count
+                    distinct_totals[rid] = distinct_totals.get(rid, 0) + 1
+        return RateAccuracy(
+            rate=rate,
+            trials=n,
+            effective_rates=effective,
+            dynamic_mean={rid: c / n for rid, c in dynamic_totals.items()},
+            distinct_mean={rid: c / n for rid, c in distinct_totals.items()},
+        )

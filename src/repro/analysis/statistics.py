@@ -1,0 +1,91 @@
+"""Statistical helpers for detection-rate experiments.
+
+The paper's accuracy claims are statistical ("detection rate equals the
+sampling rate"); with scaled-down trial counts, interval estimates say
+whether a measured rate is *consistent with* proportionality rather than
+just eyeballing means.  Pure-Python implementations (no scipy needed at
+runtime, though the results are cross-checked against scipy in the
+tests when it is available).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+__all__ = [
+    "wilson_interval",
+    "binomial_ci_contains",
+    "mean_confidence_interval",
+    "proportionality_consistent",
+]
+
+#: two-sided z for 95% confidence
+Z95 = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = Z95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved for small trial counts and extreme proportions (unlike
+    the normal approximation), which is exactly the regime detection-rate
+    experiments live in.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def binomial_ci_contains(
+    successes: int, trials: int, rate: float, z: float = Z95
+) -> bool:
+    """True if ``rate`` lies inside the Wilson interval of the sample."""
+    lo, hi = wilson_interval(successes, trials, z)
+    return lo <= rate <= hi
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = Z95
+) -> Tuple[float, float, float]:
+    """(mean, lo, hi): a z-based confidence interval for a sample mean."""
+    values = list(values)
+    if not values:
+        raise ValueError("empty sample")
+    n = len(values)
+    mu = sum(values) / n
+    if n == 1:
+        return (mu, mu, mu)
+    var = sum((v - mu) ** 2 for v in values) / (n - 1)
+    half = z * math.sqrt(var / n)
+    return (mu, mu - half, mu + half)
+
+
+def proportionality_consistent(
+    detections: int,
+    trials: int,
+    effective_rate: float,
+    occurrences_per_trial: float = 1.0,
+    z: float = Z95,
+) -> bool:
+    """Is a per-race detection count consistent with PACER's guarantee?
+
+    A race occurring ``occurrences_per_trial`` times per run and sampled
+    at ``effective_rate`` should be detected per trial with probability
+    ``1 - (1 - r)^k``; this checks the observed detection frequency's
+    Wilson interval against that prediction.
+    """
+    predicted = 1.0 - (1.0 - effective_rate) ** max(occurrences_per_trial, 0.0)
+    lo, hi = wilson_interval(detections, trials, z)
+    return lo <= predicted <= hi

@@ -1,0 +1,70 @@
+"""Plain-text table and series rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["render_table", "render_series", "fmt", "mean", "stdev"]
+
+Cell = Union[str, int, float, None]
+
+
+def fmt(value: Cell, digits: int = 2) -> str:
+    """Format one cell: floats to ``digits`` places, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    digits: int = 2,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[Cell], ys: Sequence[Cell], digits: int = 3
+) -> str:
+    """Render an (x, y) series as one labelled line per point."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {fmt(x, digits)} -> {fmt(y, digits)}")
+    return "\n".join(lines)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return (sum((v - mu) ** 2 for v in values) / len(values)) ** 0.5

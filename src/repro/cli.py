@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``workloads`` — list the bundled synthetic benchmarks.
+* ``record``    — run a workload and write its trace to a file.
+* ``analyze``   — run a detector over a trace file and report races.
+* ``oracle``    — exact happens-before ground truth for a trace file.
+* ``detect``    — run a workload live under a detector (PACER with a
+  sampling rate, or any always-on detector).
+* ``convert``   — convert traces between the text and binary formats.
+
+Trace file formats are auto-detected (binary traces start with the
+``PACR`` magic); ``--format`` forces one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from .analysis.tables import render_table
+from .core.pacer import PacerDetector
+from .core.sampling import BiasCorrectedController
+from .detectors import (
+    Detector,
+    DjitPlusDetector,
+    EraserDetector,
+    FastTrackDetector,
+    GenericDetector,
+    GoldilocksDetector,
+    LiteRaceDetector,
+)
+from .sim.runtime import Runtime, RuntimeConfig
+from .sim.scheduler import run_program
+from .sim.workloads import WORKLOADS, build_program
+from .trace.binio import MAGIC, dump_trace_binary, load_trace_binary
+from .trace.oracle import HBOracle
+from .trace.textio import dump_trace, load_trace
+from .trace.trace import Trace
+
+__all__ = ["main", "DETECTORS"]
+
+DETECTORS: Dict[str, Callable[[], Detector]] = {
+    "pacer": PacerDetector,
+    "fasttrack": FastTrackDetector,
+    "generic": GenericDetector,
+    "djit": DjitPlusDetector,
+    "goldilocks": GoldilocksDetector,
+    "literace": LiteRaceDetector,
+    "eraser": EraserDetector,
+}
+
+
+def _load(path: Path, fmt: str) -> Trace:
+    if fmt == "auto":
+        fmt = "binary" if path.read_bytes()[:4] == MAGIC else "text"
+    if fmt == "binary":
+        return load_trace_binary(path)
+    return load_trace(path)
+
+
+def _dump(trace, path: Path, fmt: str) -> None:
+    if fmt == "auto":
+        fmt = "binary" if path.suffix in (".bin", ".pacr") else "text"
+    if fmt == "binary":
+        dump_trace_binary(trace, path)
+    else:
+        dump_trace(trace, path)
+
+
+def _print_races(detector: Detector, limit: int) -> None:
+    print(
+        f"{detector.name}: {len(detector.races)} race reports, "
+        f"{len(detector.distinct_races)} distinct site pairs"
+    )
+    rows = [
+        [r.kind, r.var, f"t{r.first_tid}@{r.first_site}", f"t{r.second_tid}@{r.second_site}", r.index]
+        for r in detector.races[:limit]
+    ]
+    if rows:
+        print(render_table(["kind", "var", "first", "second", "at event"], rows))
+    if len(detector.races) > limit:
+        print(f"... and {len(detector.races) - limit} more (raise --limit)")
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_workloads(_args) -> int:
+    rows = [
+        [name, spec.threads_total, spec.max_live, len(spec.racy_sites), spec.iterations]
+        for name, spec in sorted(WORKLOADS.items())
+    ]
+    print(
+        render_table(
+            ["workload", "threads", "max live", "injected races", "hot iterations"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_record(args) -> int:
+    spec = WORKLOADS[args.workload].scaled(args.scale)
+    trace = run_program(build_program(spec, args.seed), seed=args.seed)
+    _dump(trace, Path(args.output), args.format)
+    print(f"wrote {len(trace)} events to {args.output}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    trace = _load(Path(args.trace), args.format)
+    detector = DETECTORS[args.detector]()
+    detector.run(trace)
+    _print_races(detector, args.limit)
+    return 1 if detector.races and args.fail_on_race else 0
+
+
+def cmd_oracle(args) -> int:
+    trace = _load(Path(args.trace), args.format)
+    oracle = HBOracle(trace)
+    races = oracle.all_races()
+    print(
+        f"{len(trace)} events, {len(oracle.accesses)} accesses, "
+        f"{len(races)} racing pairs on {len(oracle.racy_variables())} variables"
+    )
+    rows = [
+        [r.kind, r.first.var, f"t{r.first.tid}@{r.first.site}",
+         f"t{r.second.tid}@{r.second.site}", r.first.index, r.second.index]
+        for r in races[: args.limit]
+    ]
+    if rows:
+        print(render_table(["kind", "var", "first", "second", "i", "j"], rows))
+    return 0
+
+
+def cmd_detect(args) -> int:
+    spec = WORKLOADS[args.workload].scaled(args.scale)
+    detector = DETECTORS[args.detector]()
+    controller = None
+    if args.rate is not None:
+        if args.detector != "pacer":
+            print("--rate only applies to the pacer detector", file=sys.stderr)
+            return 2
+        controller = BiasCorrectedController(
+            args.rate / 100.0, rng=random.Random(args.seed)
+        )
+    runtime = Runtime(
+        build_program(spec, args.seed),
+        detector,
+        controller=controller,
+        config=RuntimeConfig(track_memory=False),
+        seed=args.seed,
+    )
+    runtime.run()
+    if controller is not None:
+        print(f"effective sampling rate: {runtime.effective_sampling_rate:.2%}")
+    _print_races(detector, args.limit)
+    return 0
+
+
+def cmd_convert(args) -> int:
+    trace = _load(Path(args.input), "auto")
+    _dump(trace, Path(args.output), args.format)
+    print(f"converted {len(trace)} events -> {args.output}")
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PACER proportional race detection toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list bundled workloads").set_defaults(
+        func=cmd_workloads
+    )
+
+    p = sub.add_parser("record", help="run a workload and save its trace")
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("output")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0, help="hot-loop scale factor")
+    p.add_argument("--format", choices=["auto", "text", "binary"], default="auto")
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("analyze", help="run a detector over a trace file")
+    p.add_argument("trace")
+    p.add_argument("--detector", choices=sorted(DETECTORS), default="fasttrack")
+    p.add_argument("--format", choices=["auto", "text", "binary"], default="auto")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument(
+        "--fail-on-race", action="store_true", help="exit 1 if races are found"
+    )
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("oracle", help="exact happens-before ground truth")
+    p.add_argument("trace")
+    p.add_argument("--format", choices=["auto", "text", "binary"], default="auto")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_oracle)
+
+    p = sub.add_parser("detect", help="run a workload live under a detector")
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--detector", choices=sorted(DETECTORS), default="pacer")
+    p.add_argument(
+        "--rate", type=float, default=None, help="PACER sampling rate in percent"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("convert", help="convert between trace formats")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--format", choices=["auto", "text", "binary"], default="auto")
+    p.set_defaults(func=cmd_convert)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

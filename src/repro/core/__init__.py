@@ -1,0 +1,35 @@
+"""Core PACER algorithm: clocks, versioning, metadata, sampling."""
+
+from .clocks import Epoch, MIN_EPOCH, ReadMap, VectorClock, epoch_leq_vc
+from .metadata import SyncMeta, ThreadMeta, VarState
+from .pacer import PacerDetector
+from .sampling import (
+    BiasCorrectedController,
+    FixedRateController,
+    SamplingController,
+    ScriptedController,
+)
+from .stats import CostModel, OpCounters
+from .versioning import BOTTOM_VE, SharableClock, TOP_VE, VersionEpoch
+
+__all__ = [
+    "Epoch",
+    "MIN_EPOCH",
+    "ReadMap",
+    "VectorClock",
+    "epoch_leq_vc",
+    "SyncMeta",
+    "ThreadMeta",
+    "VarState",
+    "PacerDetector",
+    "SamplingController",
+    "FixedRateController",
+    "BiasCorrectedController",
+    "ScriptedController",
+    "CostModel",
+    "OpCounters",
+    "BOTTOM_VE",
+    "TOP_VE",
+    "VersionEpoch",
+    "SharableClock",
+]

@@ -1,0 +1,117 @@
+"""Per-variable and per-synchronization-object detector metadata.
+
+Mirrors the paper's implementation (§4): every data variable owns a
+*write epoch* plus *read map* (either may be null, meaning discarded /
+never set), and every synchronization object owns a vector clock plus —
+for PACER — version information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .clocks import Epoch, ReadMap, VectorClock
+from .versioning import BOTTOM_VE, SharableClock, VersionEpoch
+
+__all__ = ["VarState", "ThreadMeta", "SyncMeta", "footprint_words"]
+
+# Note: detectors implement their own footprint accounting on top of the
+# per-object ``words()`` methods below; :func:`footprint_words` is the
+# shared reference implementation used for cross-checking in tests.
+
+
+class VarState:
+    """Read/write metadata for one data variable.
+
+    ``write is None`` and ``read is None`` both mean "no information"
+    (equivalent to the minimal epoch 0@0).  PACER's inlined fast path is
+    exactly the case where the variable has no :class:`VarState` at all,
+    so detectors keep these in a dict and delete entries that become
+    fully null.
+    """
+
+    __slots__ = ("write", "write_site", "write_index", "read")
+
+    def __init__(self) -> None:
+        self.write: Optional[Epoch] = None
+        self.write_site: int = 0
+        self.write_index: int = -1
+        self.read: Optional[ReadMap] = None
+
+    @property
+    def is_null(self) -> bool:
+        """True when both components have been discarded."""
+        return self.write is None and self.read is None
+
+    def words(self) -> int:
+        """Approximate footprint in words (hash-table entry + payload)."""
+        total = 2  # table entry: key + pointer
+        if self.write is not None:
+            total += 2  # packed epoch + site
+        if self.read is not None:
+            total += self.read.words()
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"VarState(W={self.write}, R={self.read!r})"
+
+
+class ThreadMeta:
+    """PACER metadata for one thread: clock + version vector (§3.2).
+
+    ``ver[t]`` for the owner is the thread's own current version, bumped
+    whenever its clock changes; other components record the latest
+    version received from each peer.
+    """
+
+    __slots__ = ("clock", "ver", "alive")
+
+    def __init__(self, tid: int) -> None:
+        clock = SharableClock()
+        clock.increment(tid)  # initial state: inc_t(⊥c)  (Equation 7)
+        self.clock = clock
+        ver = VectorClock()
+        ver.increment(tid)  # initial state: inc_t(⊥v)
+        self.ver = ver
+        self.alive = True
+
+    def vepoch(self, tid: int) -> VersionEpoch:
+        """The thread's current version epoch ``ver_t[t]@t``."""
+        return VersionEpoch(self.ver.get(tid), tid)
+
+
+class SyncMeta:
+    """PACER metadata for a lock or volatile: clock + version epoch."""
+
+    __slots__ = ("clock", "vepoch")
+
+    def __init__(self) -> None:
+        self.clock = SharableClock()
+        self.vepoch: VersionEpoch = BOTTOM_VE
+
+
+def footprint_words(
+    var_states: Dict[int, VarState],
+    thread_clocks: Dict[int, SharableClock],
+    thread_vers: Dict[int, VectorClock],
+    sync_clocks: Dict[int, SharableClock],
+) -> int:
+    """Total live metadata footprint in words (Figure 10's metric).
+
+    Shared clocks are counted once, reflecting the space benefit of
+    shallow copies.
+    """
+    total = 0
+    for state in var_states.values():
+        total += state.words()
+    seen = set()
+    for clock in list(thread_clocks.values()) + list(sync_clocks.values()):
+        if id(clock) in seen:
+            continue
+        seen.add(id(clock))
+        total += 1 + len(clock)
+    for ver in thread_vers.values():
+        total += 1 + len(ver)
+    # one header word per tracked sync object / variable pointer
+    total += len(var_states) + len(sync_clocks) + len(thread_clocks)
+    return total

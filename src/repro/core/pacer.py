@@ -1,0 +1,407 @@
+"""The PACER detector (paper §3, Algorithms 9-13 and 16, Tables 4-7).
+
+PACER divides execution into global *sampling* and *non-sampling*
+periods.  While sampling it is exactly FASTTRACK.  While not sampling it
+
+* performs **no work and allocates no space** for accesses to variables
+  with no live metadata (the inlined fast path),
+* **discards** read/write metadata that FASTTRACK would have replaced or
+  discarded — once a sampled access can no longer be the *last* access to
+  race with a future access, it is dropped,
+* stops incrementing thread clocks (non-sampling periods are
+  *timeless*), and detects the resulting redundant communication with
+  **version epochs** (skip joins in O(1)) and **shared clocks** (shallow
+  copies at lock releases), eliminating nearly all O(n) work.
+
+The guarantee: a race whose first access falls inside a sampling period
+(and is the last access racing with the second) is always reported, so
+each dynamic race is detected with probability equal to the sampling
+rate.
+
+Deviations from the paper's pseudocode (all justified by its own formal
+semantics in Table 7) are listed in DESIGN.md under "errata".
+
+Feature flags (``use_versions``, ``use_sharing``, ``discard_metadata``)
+exist for the ablation benchmarks and default to the paper's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..detectors.base import Detector, READ_WRITE, WRITE_READ, WRITE_WRITE
+from .clocks import Epoch, ReadMap, epoch_leq_vc
+from .metadata import SyncMeta, ThreadMeta, VarState
+from .versioning import BOTTOM_VE, SharableClock, TOP_VE, VersionEpoch
+
+__all__ = ["PacerDetector"]
+
+
+class PacerDetector(Detector):
+    """Sampling race detector with proportional detection and overhead."""
+
+    name = "pacer"
+
+    def __init__(
+        self,
+        sampling: bool = False,
+        use_versions: bool = True,
+        use_sharing: bool = True,
+        discard_metadata: bool = True,
+        reclaim_dead_threads: bool = False,
+    ) -> None:
+        super().__init__()
+        self.sampling = sampling
+        self.use_versions = use_versions
+        self.use_sharing = use_sharing
+        self.discard_metadata = discard_metadata
+        self.reclaim_dead_threads = reclaim_dead_threads
+        self._thread: Dict[int, ThreadMeta] = {}
+        self._lock: Dict[int, SyncMeta] = {}
+        self._vol: Dict[int, SyncMeta] = {}
+        self._vars: Dict[int, VarState] = {}
+
+    # -- metadata helpers ---------------------------------------------------
+
+    def _thread_meta(self, tid: int) -> ThreadMeta:
+        meta = self._thread.get(tid)
+        if meta is None:
+            meta = ThreadMeta(tid)
+            self._thread[tid] = meta
+            self.counters.words_allocated += 4
+        return meta
+
+    # -- low-level clock operations (Algorithms 9, 10, 11) ---------------------
+
+    def _inc(self, meta: ThreadMeta, tid: int) -> None:
+        """Vector clock increment (Algorithm 10): no-op unless sampling."""
+        if not self.sampling:
+            return
+        clock = meta.clock
+        if clock.shared:
+            clock = clock.clone()
+            meta.clock = clock
+            self.counters.clones += 1
+            self.counters.words_allocated += 1 + len(clock)
+        clock.increment(tid)
+        meta.ver.increment(tid)
+        self.counters.increments += 1
+
+    def _copy_to_sync(self, sync: SyncMeta, tmeta: ThreadMeta, tid: int) -> None:
+        """Vector clock copy ``C_o <- C_t`` (Algorithm 9)."""
+        if not self.sampling and self.use_sharing:
+            tmeta.clock.shared = True
+            sync.clock = tmeta.clock  # shallow: share the vector clock
+            self.counters.copies_shallow_nonsampling += 1
+        else:
+            sync.clock = tmeta.clock.clone()  # deep element-by-element copy
+            if self.sampling:
+                self.counters.copies_deep_sampling += 1
+            else:
+                self.counters.copies_deep_nonsampling += 1
+            self.counters.words_allocated += 1 + len(sync.clock)
+        sync.vepoch = tmeta.vepoch(tid)
+
+    def _count_join(self, fast: bool) -> None:
+        c = self.counters
+        if fast:
+            if self.sampling:
+                c.joins_fast_sampling += 1
+            else:
+                c.joins_fast_nonsampling += 1
+        else:
+            if self.sampling:
+                c.joins_slow_sampling += 1
+            else:
+                c.joins_slow_nonsampling += 1
+
+    def _join_into_thread(
+        self,
+        tmeta: ThreadMeta,
+        tid: int,
+        source_clock: Optional[SharableClock],
+        source_vepoch: VersionEpoch,
+    ) -> None:
+        """Vector clock join ``C_t <- C_t ⊔ C_o`` (Algorithm 11 / Table 7).
+
+        Rule 4 (version fast path): already received this version — O(1).
+        Rule 5 (happens-before): clocks ordered; record the version only.
+        Rule 6 (concurrent): real join; clone first if shared.
+        """
+        if source_clock is None or source_vepoch is BOTTOM_VE:
+            # The source clock is the bottom clock; a join is a no-op.
+            self._count_join(fast=True)
+            return
+        real = source_vepoch is not TOP_VE
+        if (
+            self.use_versions
+            and real
+            and tmeta.ver.get(source_vepoch.tid) >= source_vepoch.version
+        ):
+            self._count_join(fast=True)  # Rule 4: same version epoch
+            return
+        self._count_join(fast=False)
+        if source_clock.leq(tmeta.clock):
+            # Rule 5: ordered; no join needed, just learn the version.
+            if real:
+                tmeta.ver.set(source_vepoch.tid, source_vepoch.version)
+            return
+        # Rule 6: concurrent — perform the join.
+        clock = tmeta.clock
+        if clock.shared:
+            clock = clock.clone()
+            tmeta.clock = clock
+            self.counters.clones += 1
+            self.counters.words_allocated += 1 + len(clock)
+        clock.join(source_clock)
+        tmeta.ver.increment(tid)
+        if real:
+            tmeta.ver.set(source_vepoch.tid, source_vepoch.version)
+
+    # -- sampling period boundaries (Table 5) -----------------------------------
+
+    def begin_sampling(self) -> None:
+        """Enter a sampling period; increments every thread's clock.
+
+        The increments re-establish *strict* well-formedness (Lemma 5) so
+        that clock comparisons imply happens-before inside the period.
+        """
+        if self.sampling:
+            return
+        self.sampling = True
+        for tid, meta in self._thread.items():
+            self._inc(meta, tid)
+
+    def end_sampling(self) -> None:
+        """Leave a sampling period; time stops advancing."""
+        self.sampling = False
+
+    # -- synchronization operations ------------------------------------------------
+
+    def acquire(self, tid: int, lock: int) -> None:
+        tmeta = self._thread_meta(tid)
+        sync = self._lock.get(lock)
+        if sync is None:
+            self._count_join(fast=True)  # never released: clock is bottom
+            return
+        self._join_into_thread(tmeta, tid, sync.clock, sync.vepoch)
+
+    def release(self, tid: int, lock: int) -> None:
+        tmeta = self._thread_meta(tid)
+        sync = self._lock.get(lock)
+        if sync is None:
+            sync = SyncMeta()
+            self._lock[lock] = sync
+            self.counters.words_allocated += 2
+        self._copy_to_sync(sync, tmeta, tid)
+        self._inc(tmeta, tid)
+
+    def fork(self, tid: int, child: int) -> None:
+        tmeta = self._thread_meta(tid)
+        cmeta = self._thread_meta(child)  # initial state per Equation 7
+        self._join_into_thread(cmeta, child, tmeta.clock, tmeta.vepoch(tid))
+        self._inc(tmeta, tid)
+
+    def join(self, tid: int, child: int) -> None:
+        tmeta = self._thread_meta(tid)
+        cmeta = self._thread_meta(child)
+        self._join_into_thread(tmeta, tid, cmeta.clock, cmeta.vepoch(child))
+        self._inc(cmeta, child)
+        cmeta.alive = False
+        if self.reclaim_dead_threads:
+            # Accordion-style reclamation (§5.1's production note, in its
+            # simplest sound form): a joined thread never acts again, and
+            # its clock/version vector is never consulted again — the
+            # only reader is its (unique) join, which just ran.  Entries
+            # *about* the dead thread inside other clocks and read maps
+            # survive, so no happens-before information is lost.
+            del self._thread[child]
+
+    def vol_read(self, tid: int, vol: int) -> None:
+        tmeta = self._thread_meta(tid)
+        sync = self._vol.get(vol)
+        if sync is None:
+            self._count_join(fast=True)  # never written: clock is bottom
+            return
+        self._join_into_thread(tmeta, tid, sync.clock, sync.vepoch)
+
+    def vol_write(self, tid: int, vol: int) -> None:
+        """``C_x <- C_x ⊔ C_t`` (Algorithm 16 as corrected by Table 7).
+
+        If the volatile's clock is subsumed by the thread's (proved by
+        version epoch or by comparison), the join degenerates to a copy
+        and the volatile keeps a precise version epoch.  Otherwise the
+        result mixes several threads' clocks and the version epoch
+        becomes ⊤ve.
+        """
+        tmeta = self._thread_meta(tid)
+        sync = self._vol.get(vol)
+        if sync is None:
+            sync = SyncMeta()
+            self._vol[vol] = sync
+            self.counters.words_allocated += 2
+        ve = sync.vepoch
+        subsumes = False
+        if ve is BOTTOM_VE:
+            subsumes = True
+            self._count_join(fast=True)
+        elif (
+            self.use_versions
+            and ve is not TOP_VE
+            and tmeta.ver.get(ve.tid) >= ve.version
+        ):
+            subsumes = True  # Table 7 Rule 7: same version epoch
+            self._count_join(fast=True)
+        else:
+            self._count_join(fast=False)
+            subsumes = sync.clock.leq(tmeta.clock)  # Rule 8: happens-before
+        if subsumes:
+            self._copy_to_sync(sync, tmeta, tid)
+        else:
+            # Rule 9: concurrent writes — join and give up the version epoch.
+            clock = sync.clock
+            if clock.shared:
+                clock = clock.clone()
+                sync.clock = clock
+                self.counters.clones += 1
+                self.counters.words_allocated += 1 + len(clock)
+            clock.join(tmeta.clock)
+            sync.vepoch = TOP_VE
+        self._inc(tmeta, tid)
+
+    # -- reads and writes (Algorithms 12 and 13, Table 4) ---------------------------
+
+    def read(self, tid: int, var: int, site: int = 0) -> None:
+        state = self._vars.get(var)
+        if not self.sampling and state is None:
+            self.counters.reads_fast_nonsampling += 1  # inlined fast path
+            return
+        if self.sampling:
+            self.counters.reads_slow_sampling += 1
+        else:
+            self.counters.reads_slow_nonsampling += 1
+        if state is None:
+            state = VarState()
+            self._vars[var] = state
+            self.counters.words_allocated += 2
+        tmeta = self._thread_meta(tid)
+        clock = tmeta.clock
+        own = clock.get(tid)
+        r = state.read
+        if self.sampling:
+            # Sampling period: exactly FASTTRACK (Algorithm 7).
+            if r is not None and r.is_epoch and r.epoch == Epoch(own, tid):
+                return  # same read epoch: no action
+            self._check_write_race(var, state, clock, tid, site, WRITE_READ)
+            if r is None:
+                state.read = ReadMap(tid, own, site, self.now)
+                self.counters.words_allocated += 2
+            elif r.is_epoch and r.leq_vc(clock):
+                r.set_epoch(tid, own, site, self.now)  # overwrite read map
+            else:
+                r.record(tid, own, site, self.now)  # update/inflate read map
+                self.counters.words_allocated += 2
+        else:
+            # Non-sampling period (Algorithm 12): the race check always
+            # runs — clocks are frozen, so same-epoch shortcuts that are
+            # safe under FASTTRACK would silently drop sampled races here.
+            self._check_write_race(var, state, clock, tid, site, WRITE_READ)
+            if r is not None:
+                if r.is_epoch:
+                    # Table 4 Rule 2: discard a read epoch FASTTRACK would
+                    # have overwritten.  A same-epoch read (Rule 1) is
+                    # *not* overwritten by FASTTRACK, and Rule 4 keeps a
+                    # concurrent one.
+                    if r.epoch != Epoch(own, tid) and r.leq_vc(clock):
+                        state.read = None
+                elif r.discard(tid):  # Rule 3: drop only t's entry
+                    state.read = None
+            self._maybe_discard(var, state)
+
+    def write(self, tid: int, var: int, site: int = 0) -> None:
+        state = self._vars.get(var)
+        if not self.sampling and state is None:
+            self.counters.writes_fast_nonsampling += 1  # inlined fast path
+            return
+        if self.sampling:
+            self.counters.writes_slow_sampling += 1
+        else:
+            self.counters.writes_slow_nonsampling += 1
+        if state is None:
+            state = VarState()
+            self._vars[var] = state
+            self.counters.words_allocated += 2
+        tmeta = self._thread_meta(tid)
+        clock = tmeta.clock
+        own = clock.get(tid)
+        w = state.write
+        same_epoch = w is not None and w.clock == own and w.tid == tid
+        if self.sampling:
+            # Sampling period: exactly FASTTRACK (Algorithm 8).
+            if same_epoch:
+                return  # same write epoch: no action
+            self._check_write_race(var, state, clock, tid, site, WRITE_WRITE)
+            self._check_read_races(var, state, clock, tid, site)
+            state.write = Epoch(own, tid)
+            state.write_site = site
+            state.write_index = self.now
+            state.read = None
+            self.counters.words_allocated += 2
+        else:
+            # Non-sampling period (Algorithm 13): checks run even on a
+            # same-epoch write — with frozen clocks, sampled reads that
+            # race this write would otherwise go unreported.
+            self._check_write_race(var, state, clock, tid, site, WRITE_WRITE)
+            self._check_read_races(var, state, clock, tid, site)
+            if same_epoch:
+                return  # keep the sampled metadata; nothing to discard
+            state.write = None  # discard write epoch and read map
+            state.read = None
+            self._maybe_discard(var, state)
+
+    def _check_write_race(self, var, state, clock, tid, site, kind) -> None:
+        """check W ⪯ C_t; report a race with the prior write otherwise."""
+        w = state.write
+        if w is not None and not epoch_leq_vc(w, clock):
+            self.report(
+                var, kind, w.tid, w.clock, state.write_site, tid, site,
+                first_index=state.write_index,
+            )
+
+    def _check_read_races(self, var, state, clock, tid, site) -> None:
+        """check R ⊑ C_t; report read-write races otherwise."""
+        r = state.read
+        if r is not None:
+            for u, c, s, i in r.racing_entries(clock):
+                self.report(var, READ_WRITE, u, c, s, tid, site, first_index=i)
+
+    def _maybe_discard(self, var: int, state: VarState) -> None:
+        """Drop the variable's metadata entirely once fully null."""
+        if self.discard_metadata and state.is_null:
+            del self._vars[var]
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def tracked_variables(self) -> int:
+        """Number of variables with live metadata (space proxy)."""
+        return len(self._vars)
+
+    def footprint_words(self) -> int:
+        """Live metadata footprint; shared clocks are counted once."""
+        total = 0
+        for state in self._vars.values():
+            total += state.words()
+        seen = set()
+        for meta in self._thread.values():
+            if id(meta.clock) not in seen:
+                seen.add(id(meta.clock))
+                total += 1 + len(meta.clock)
+            total += 1 + len(meta.ver)
+        for table in (self._lock, self._vol):
+            for sync in table.values():
+                total += 2  # vepoch word + pointer
+                if id(sync.clock) not in seen:
+                    seen.add(id(sync.clock))
+                    total += 1 + len(sync.clock)
+        return total

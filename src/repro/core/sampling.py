@@ -1,0 +1,161 @@
+"""Sampling-period controllers (paper §4, "Sampling").
+
+The implementation in the paper toggles sampling at garbage-collection
+boundaries: at the end of each (frequent) nursery collection it enters a
+sampling period with some probability.  Naively using the specified rate
+r as that probability *under*-samples, because race-detection metadata
+allocated during sampling makes collections come sooner — sampling
+periods contain less program work than non-sampling periods.  The paper
+corrects for this by measuring program work in *synchronization
+operations* (which are sampling-independent) and adjusting the entry
+probability; Table 1 shows the achieved effective rates.
+
+This module provides the controllers; the simulator
+(:mod:`repro.sim.runtime`) invokes them at GC boundaries, and traces can
+embed scripted periods directly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "SamplingController",
+    "FixedRateController",
+    "BiasCorrectedController",
+    "ScriptedController",
+]
+
+
+class SamplingController:
+    """Decides, at each period boundary, whether to sample the next period.
+
+    ``on_work(n, sampling)`` feeds back how much sampling-independent
+    work (sync operations) the finished period contained, enabling bias
+    correction.  ``effective_rate`` is the achieved fraction of work that
+    fell inside sampling periods — the quantity Table 1 reports.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.sampled_work = 0
+        self.total_work = 0
+
+    def on_work(self, amount: int, sampling: bool) -> None:
+        """Record ``amount`` units of work from a finished period."""
+        self.total_work += amount
+        if sampling:
+            self.sampled_work += amount
+
+    @property
+    def effective_rate(self) -> float:
+        """Fraction of observed work inside sampling periods."""
+        if self.total_work == 0:
+            return 0.0
+        return self.sampled_work / self.total_work
+
+    def decide(self) -> bool:
+        """Should the next period be a sampling period?"""
+        raise NotImplementedError
+
+
+class FixedRateController(SamplingController):
+    """Enter sampling periods with constant probability r (no correction).
+
+    Exhibits the bias the paper describes when sampling periods do less
+    program work; kept as the baseline for the Table 1 experiment.
+    """
+
+    def __init__(self, rate: float, rng: Optional[random.Random] = None) -> None:
+        super().__init__(rate)
+        self._rng = rng or random.Random()
+
+    def decide(self) -> bool:
+        if self.rate >= 1.0:
+            return True
+        return self._rng.random() < self.rate
+
+
+class BiasCorrectedController(SamplingController):
+    """The paper's corrected controller.
+
+    Maintains exponential moving averages of work per sampling period
+    (``w_s``) and per non-sampling period (``w_n``) and a running deficit,
+    then chooses the entry probability p so the expected long-run work
+    fraction equals the specified rate:
+
+        p·w_s / (p·w_s + (1-p)·w_n) = r*       =>
+        p = x / (1 + x),  x = r*·w_n / ((1-r*)·w_s)
+
+    where r* is the specified rate nudged by the accumulated error
+    (r - observed fraction), which lets the controller also recover from
+    early-run noise.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: Optional[random.Random] = None,
+        smoothing: float = 0.2,
+        gain: float = 1.0,
+    ) -> None:
+        super().__init__(rate)
+        self._rng = rng or random.Random()
+        self._smoothing = smoothing
+        self._gain = gain
+        self._avg_sampling_work: Optional[float] = None
+        self._avg_nonsampling_work: Optional[float] = None
+
+    def on_work(self, amount: int, sampling: bool) -> None:
+        super().on_work(amount, sampling)
+        alpha = self._smoothing
+        if sampling:
+            prev = self._avg_sampling_work
+            self._avg_sampling_work = (
+                amount if prev is None else (1 - alpha) * prev + alpha * amount
+            )
+        else:
+            prev = self._avg_nonsampling_work
+            self._avg_nonsampling_work = (
+                amount if prev is None else (1 - alpha) * prev + alpha * amount
+            )
+
+    def _entry_probability(self) -> float:
+        r = self.rate
+        if r >= 1.0:
+            return 1.0
+        if r <= 0.0:
+            return 0.0
+        if self.total_work > 0:
+            observed = self.sampled_work / self.total_work
+            r = min(max(r + self._gain * (self.rate - observed), 0.0), 1.0)
+        w_s = self._avg_sampling_work
+        w_n = self._avg_nonsampling_work
+        if not w_s or not w_n:
+            return r
+        if r >= 1.0:
+            return 1.0
+        x = (r * w_n) / ((1.0 - r) * w_s)
+        return x / (1.0 + x)
+
+    def decide(self) -> bool:
+        return self._rng.random() < self._entry_probability()
+
+
+class ScriptedController(SamplingController):
+    """Replays a fixed on/off schedule (for tests and replay benches)."""
+
+    def __init__(self, schedule: Sequence[bool], rate: float = 0.0) -> None:
+        super().__init__(rate)
+        self._schedule: List[bool] = list(schedule)
+        self._next = 0
+
+    def decide(self) -> bool:
+        if self._next >= len(self._schedule):
+            return False
+        decision = self._schedule[self._next]
+        self._next += 1
+        return decision

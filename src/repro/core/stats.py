@@ -1,0 +1,150 @@
+"""Operation and allocation counters (reproduces Table 3's columns).
+
+Every detector owns an :class:`OpCounters`; PACER additionally splits
+counts by sampling vs non-sampling period.  The counters also drive:
+
+* the simulator's allocation model (metadata allocation during sampling
+  shortens GC periods — the sampling-bias source of Table 1), and
+* the analysis *cost model* used alongside real timings for Figures 7–9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+__all__ = ["OpCounters", "CostModel"]
+
+
+@dataclass
+class OpCounters:
+    """Counts of analysis operations, split by period and cost class.
+
+    "Slow" joins/comparisons are O(n) in the number of threads; "fast"
+    joins were skipped via the version fast path in O(1).  Deep copies are
+    O(n) element-by-element copies; shallow copies share the clock in
+    O(1).  For reads and writes, the *fast path* is the inlined
+    instrumentation check that does nothing (non-sampling and no
+    metadata); everything else is a *slow path* call.
+    """
+
+    # vector clock joins (thread <- lock/volatile/thread)
+    joins_slow_sampling: int = 0
+    joins_fast_sampling: int = 0
+    joins_slow_nonsampling: int = 0
+    joins_fast_nonsampling: int = 0
+
+    # vector clock copies (lock/volatile <- thread)
+    copies_deep_sampling: int = 0
+    copies_shallow_sampling: int = 0
+    copies_deep_nonsampling: int = 0
+    copies_shallow_nonsampling: int = 0
+
+    # read instrumentation
+    reads_slow_sampling: int = 0
+    reads_slow_nonsampling: int = 0
+    reads_fast_nonsampling: int = 0
+    reads_fast_sampling: int = 0
+
+    # write instrumentation
+    writes_slow_sampling: int = 0
+    writes_slow_nonsampling: int = 0
+    writes_fast_nonsampling: int = 0
+    writes_fast_sampling: int = 0
+
+    # clock machinery
+    clones: int = 0
+    increments: int = 0
+
+    # metadata allocation, in words (drives the GC/bias model)
+    words_allocated: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a plain dict of all counters."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {k: now[k] - earlier.get(k, 0) for k in now}
+
+    # Convenience aggregates -------------------------------------------------
+
+    @property
+    def joins_slow(self) -> int:
+        return self.joins_slow_sampling + self.joins_slow_nonsampling
+
+    @property
+    def joins_fast(self) -> int:
+        return self.joins_fast_sampling + self.joins_fast_nonsampling
+
+    @property
+    def reads(self) -> int:
+        return (
+            self.reads_slow_sampling
+            + self.reads_slow_nonsampling
+            + self.reads_fast_nonsampling
+            + self.reads_fast_sampling
+        )
+
+    @property
+    def writes(self) -> int:
+        return (
+            self.writes_slow_sampling
+            + self.writes_slow_nonsampling
+            + self.writes_fast_nonsampling
+            + self.writes_fast_sampling
+        )
+
+
+@dataclass
+class CostModel:
+    """Abstract cost accounting for Figures 7–9.
+
+    Wall-clock overhead in the paper depends on JIT/hardware specifics we
+    cannot reproduce; the *shape* claim (overhead proportional to r) is a
+    statement about how many operations of each cost class execute.  This
+    model assigns unit costs and evaluates a detector's total analysis
+    cost from its :class:`OpCounters`.
+
+    Default weights are calibrated so that the r=0 configuration lands
+    near the paper's ~33% overhead and r=100% near 12x on the bundled
+    workloads; they can be overridden for sensitivity studies.
+    """
+
+    fast_path: float = 0.18  # inlined check, paper reports ~18%
+    slow_path: float = 6.0  # out-of-line metadata analysis, O(1)
+    join_fast: float = 1.0  # version-epoch comparison
+    copy_shallow: float = 1.0
+    clone_or_deep: float = 4.0  # per-thread component cost added below
+    per_thread: float = 0.6  # cost per vector element for O(n) ops
+
+    def cost(self, counters: OpCounters, n_threads: int) -> float:
+        """Total modeled analysis cost in arbitrary work units."""
+        on = self.clone_or_deep + self.per_thread * max(1, n_threads)
+        return (
+            self.fast_path
+            * (
+                counters.reads_fast_nonsampling
+                + counters.reads_fast_sampling
+                + counters.writes_fast_nonsampling
+                + counters.writes_fast_sampling
+            )
+            + self.slow_path
+            * (
+                counters.reads_slow_sampling
+                + counters.reads_slow_nonsampling
+                + counters.writes_slow_sampling
+                + counters.writes_slow_nonsampling
+            )
+            + self.join_fast * counters.joins_fast
+            + self.copy_shallow
+            * (counters.copies_shallow_sampling + counters.copies_shallow_nonsampling)
+            + on
+            * (
+                counters.joins_slow
+                + counters.copies_deep_sampling
+                + counters.copies_deep_nonsampling
+                + counters.clones
+            )
+        )

@@ -1,0 +1,80 @@
+"""Vector clock versions, version epochs, and clock sharing (paper §3.2).
+
+During non-sampling periods PACER stops incrementing thread clocks, so
+redundant synchronization reproduces identical clock values.  PACER
+detects this redundancy with two mechanisms built here:
+
+* **Versions.**  Every thread numbers the distinct values its vector
+  clock takes (the *version*); a thread's *version vector* records, per
+  other thread, the latest version it has received via a join.  A lock or
+  volatile stores a *version epoch* ``v@t`` meaning "my clock equals
+  version ``v`` of thread ``t``'s clock".  A constant-time version
+  comparison then proves ``clock_m ⊑ clock_t`` without touching either
+  clock (Table 7, Rules 4/5/7/8).
+
+* **Sharing.**  In non-sampling periods a lock release performs a
+  *shallow* copy — the lock and the thread reference the same
+  :class:`SharableClock`, marked shared.  Any later mutation first clones
+  the clock (copy-on-write), so sharing never changes observable values.
+
+The paper's pseudocode overloads ``null`` version epochs; we use two
+distinct sentinels (see DESIGN.md, errata 3):
+
+* :data:`BOTTOM_VE` — the initial state ⊥ve.  The associated clock is the
+  bottom clock, so a join against it is always skippable.
+* :data:`TOP_VE` — ⊤ve.  The clock is a join over several threads'
+  clocks, so the version fast path must *fail* and fall back to a full
+  comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from .clocks import VectorClock
+
+__all__ = [
+    "VersionEpoch",
+    "BOTTOM_VE",
+    "TOP_VE",
+    "SharableClock",
+]
+
+
+class VersionEpoch(NamedTuple):
+    """A version epoch ``v@t``: version ``v`` of thread ``t``'s clock."""
+
+    version: int
+    tid: int
+
+    def __str__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"v{self.version}@{self.tid}"
+
+
+#: ⊥ve — initial version epoch; the clock it describes is the bottom clock.
+BOTTOM_VE = VersionEpoch(0, -1)
+
+#: ⊤ve — the clock is a multi-thread join; no single-thread version exists.
+TOP_VE = VersionEpoch(-1, -2)
+
+
+class SharableClock(VectorClock):
+    """A vector clock that may be shared by several synchronization objects.
+
+    ``shared`` is sticky in the paper ("once an object is marked shared it
+    remains that way for the rest of its lifetime"); here a *clone* starts
+    unshared, matching Algorithm 10/11's ``clone`` + ``setShared(false)``.
+    """
+
+    __slots__ = ("shared",)
+
+    def __init__(self, values: Optional[List[int]] = None) -> None:
+        super().__init__(values)
+        self.shared = False
+
+    def clone(self) -> "SharableClock":
+        """Deep, unshared copy (the paper's ``clone`` operation)."""
+        return SharableClock(self._c)
+
+    def copy(self) -> "SharableClock":
+        return self.clone()

@@ -1,0 +1,36 @@
+"""Dynamic race detectors: GENERIC, FASTTRACK, PACER, and baselines.
+
+``PacerDetector`` lives in :mod:`repro.core.pacer` (it is the paper's
+contribution) and is re-exported here lazily to avoid a circular import
+with :mod:`repro.detectors.base`.
+"""
+
+from .base import Detector, NullDetector, Race, distinct_races
+from .djit import DjitPlusDetector
+from .eraser import EraserDetector
+from .fasttrack import FastTrackDetector
+from .generic import GenericDetector
+from .goldilocks import GoldilocksDetector
+from .literace import LiteRaceDetector
+
+__all__ = [
+    "Detector",
+    "NullDetector",
+    "Race",
+    "distinct_races",
+    "GenericDetector",
+    "GoldilocksDetector",
+    "FastTrackDetector",
+    "DjitPlusDetector",
+    "LiteRaceDetector",
+    "EraserDetector",
+    "PacerDetector",
+]
+
+
+def __getattr__(name):
+    if name == "PacerDetector":
+        from ..core.pacer import PacerDetector
+
+        return PacerDetector
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

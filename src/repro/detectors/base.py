@@ -1,0 +1,298 @@
+"""Detector framework: the common interface and race reports.
+
+Every detector consumes the event alphabet of Appendix A through either
+the typed methods (:meth:`Detector.read`, :meth:`Detector.acquire`, ...)
+or :meth:`Detector.apply`, which dispatches a :class:`~repro.trace.events.Event`.
+Detectors report races by appending :class:`Race` records and keep
+analyzing (real tools do not stop at the first race; the formal
+semantics' "stuck" state corresponds to the first report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.stats import OpCounters
+from ..trace.events import (
+    ACQUIRE,
+    ALLOC,
+    Event,
+    FORK,
+    JOIN,
+    METHOD_ENTER,
+    METHOD_EXIT,
+    READ,
+    RELEASE,
+    SBEGIN,
+    SEND,
+    VOL_READ,
+    VOL_WRITE,
+    WRITE,
+)
+
+__all__ = ["Race", "Detector", "NullDetector", "distinct_races"]
+
+#: Race kinds: first access kind followed by second access kind.
+WRITE_WRITE = "ww"
+WRITE_READ = "wr"
+READ_WRITE = "rw"
+
+
+@dataclass(frozen=True)
+class Race:
+    """A reported data race.
+
+    The *first* access is the older one (recorded in metadata); the
+    *second* is the access whose analysis detected the race.  ``distinct``
+    identity — "each pair of program references" in the paper — is the
+    ``(first_site, second_site)`` pair (see :func:`distinct_races`).
+    """
+
+    var: int
+    kind: str  # one of "ww", "wr", "rw"
+    first_tid: int
+    first_clock: int
+    first_site: int
+    second_tid: int
+    second_site: int
+    index: int = -1  # trace position of the second access, if known
+    first_index: int = -1  # trace position of the first access, if known
+
+    @property
+    def distinct_key(self) -> Tuple[int, int]:
+        """Static identity of the race: the pair of program sites."""
+        return (self.first_site, self.second_site)
+
+    def __str__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"race[{self.kind}] var={self.var} "
+            f"t{self.first_tid}@site{self.first_site} vs "
+            f"t{self.second_tid}@site{self.second_site}"
+        )
+
+
+def distinct_races(races: Iterable[Race]) -> Set[Tuple[int, int]]:
+    """The set of static (site-pair) races in a report list."""
+    return {r.distinct_key for r in races}
+
+
+class Detector:
+    """Base class for all dynamic race detectors.
+
+    Subclasses implement the typed event methods.  The base class
+    provides race collection, counters, dispatch, and bookkeeping of
+    which threads exist (thread 0 is implicitly the main thread).
+    """
+
+    #: human-readable name used in tables and benchmark output
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.races: List[Race] = []
+        self.counters = OpCounters()
+        self._events_seen = 0
+        self._threads: Set[int] = set()
+        self._dispatch: Dict[str, Callable[[Event], None]] = {
+            READ: self._ev_read,
+            WRITE: self._ev_write,
+            ACQUIRE: self._ev_acquire,
+            RELEASE: self._ev_release,
+            FORK: self._ev_fork,
+            JOIN: self._ev_join,
+            VOL_READ: self._ev_vol_read,
+            VOL_WRITE: self._ev_vol_write,
+            SBEGIN: self._ev_sbegin,
+            SEND: self._ev_send,
+            METHOD_ENTER: self._ev_method_enter,
+            METHOD_EXIT: self._ev_method_exit,
+            ALLOC: self._ev_ignore,
+        }
+
+    # -- public API --------------------------------------------------------
+
+    def apply(self, event: Event) -> None:
+        """Dispatch one trace event to the typed handler."""
+        self._events_seen += 1
+        handler = self._dispatch.get(event.kind)
+        if handler is None:
+            raise ValueError(f"unknown event kind: {event.kind!r}")
+        handler(event)
+
+    def run(self, events: Iterable[Event]) -> List[Race]:
+        """Analyze a whole trace; returns the accumulated race list."""
+        for event in events:
+            self.apply(event)
+        return self.races
+
+    @property
+    def distinct_races(self) -> Set[Tuple[int, int]]:
+        """Static site-pair identities of all reported races."""
+        return distinct_races(self.races)
+
+    @property
+    def n_threads(self) -> int:
+        """Number of threads observed so far (at least 1)."""
+        return max(len(self._threads), 1)
+
+    def footprint_words(self) -> int:
+        """Live metadata footprint in words; subclasses refine this."""
+        return 0
+
+    # -- typed events (subclass responsibilities) ---------------------------
+
+    def read(self, tid: int, var: int, site: int = 0) -> None:
+        raise NotImplementedError
+
+    def write(self, tid: int, var: int, site: int = 0) -> None:
+        raise NotImplementedError
+
+    def acquire(self, tid: int, lock: int) -> None:
+        raise NotImplementedError
+
+    def release(self, tid: int, lock: int) -> None:
+        raise NotImplementedError
+
+    def fork(self, tid: int, child: int) -> None:
+        raise NotImplementedError
+
+    def join(self, tid: int, child: int) -> None:
+        raise NotImplementedError
+
+    def vol_read(self, tid: int, vol: int) -> None:
+        raise NotImplementedError
+
+    def vol_write(self, tid: int, vol: int) -> None:
+        raise NotImplementedError
+
+    def begin_sampling(self) -> None:
+        """Enter a global sampling period (no-op for always-on detectors)."""
+
+    def end_sampling(self) -> None:
+        """Leave a global sampling period (no-op for always-on detectors)."""
+
+    def method_enter(self, tid: int, method: int) -> None:
+        """Method-entry hook (used by LiteRace; default no-op)."""
+
+    def method_exit(self, tid: int, method: int) -> None:
+        """Method-exit hook (used by LiteRace; default no-op)."""
+
+    # -- race reporting helper ----------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Index of the event currently being analyzed."""
+        return self._events_seen - 1
+
+    def report(
+        self,
+        var: int,
+        kind: str,
+        first_tid: int,
+        first_clock: int,
+        first_site: int,
+        second_tid: int,
+        second_site: int,
+        first_index: int = -1,
+    ) -> None:
+        """Record a race report; analysis continues afterwards."""
+        self.races.append(
+            Race(
+                var=var,
+                kind=kind,
+                first_tid=first_tid,
+                first_clock=first_clock,
+                first_site=first_site,
+                second_tid=second_tid,
+                second_site=second_site,
+                index=self._events_seen - 1,
+                first_index=first_index,
+            )
+        )
+
+    # -- internal trampolines -------------------------------------------------
+
+    def _note_thread(self, tid: int) -> None:
+        self._threads.add(tid)
+
+    def _ev_read(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self.read(e.tid, e.target, e.site)
+
+    def _ev_write(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self.write(e.tid, e.target, e.site)
+
+    def _ev_acquire(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self.acquire(e.tid, e.target)
+
+    def _ev_release(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self.release(e.tid, e.target)
+
+    def _ev_fork(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self._note_thread(e.target)
+        self.fork(e.tid, e.target)
+
+    def _ev_join(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self.join(e.tid, e.target)
+
+    def _ev_vol_read(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self.vol_read(e.tid, e.target)
+
+    def _ev_vol_write(self, e: Event) -> None:
+        self._note_thread(e.tid)
+        self.vol_write(e.tid, e.target)
+
+    def _ev_sbegin(self, _e: Event) -> None:
+        self.begin_sampling()
+
+    def _ev_send(self, _e: Event) -> None:
+        self.end_sampling()
+
+    def _ev_method_enter(self, e: Event) -> None:
+        self.method_enter(e.tid, e.target)
+
+    def _ev_method_exit(self, e: Event) -> None:
+        self.method_exit(e.tid, e.target)
+
+    def _ev_ignore(self, _e: Event) -> None:
+        pass
+
+
+class NullDetector(Detector):
+    """A detector that analyzes nothing.
+
+    Stands in for the uninstrumented baseline configuration in the
+    overhead and space benchmarks ("Base" in Figures 7-10).
+    """
+
+    name = "none"
+
+    def read(self, tid: int, var: int, site: int = 0) -> None:
+        pass
+
+    def write(self, tid: int, var: int, site: int = 0) -> None:
+        pass
+
+    def acquire(self, tid: int, lock: int) -> None:
+        pass
+
+    def release(self, tid: int, lock: int) -> None:
+        pass
+
+    def fork(self, tid: int, child: int) -> None:
+        pass
+
+    def join(self, tid: int, child: int) -> None:
+        pass
+
+    def vol_read(self, tid: int, vol: int) -> None:
+        pass
+
+    def vol_write(self, tid: int, vol: int) -> None:
+        pass

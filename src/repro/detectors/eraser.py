@@ -1,0 +1,137 @@
+"""The Eraser lockset detector (Savage et al.; paper §6.2).
+
+Eraser checks a *locking discipline*: every shared variable must be
+protected by some common lock.  It is fast and simple but **imprecise**:
+fork/join, wait/notify, and volatile-based synchronization all produce
+false positives.  The paper cites this imprecision (and the fact that
+FASTTRACK erased lockset's performance advantage) as the motivation for
+precise vector-clock detection; this implementation exists to make that
+comparison concrete in the examples and benchmarks.
+
+Per-variable state machine (the original paper's Figure 2):
+
+    VIRGIN -> EXCLUSIVE(t) -> SHARED -> SHARED_MODIFIED
+
+Candidate locksets are refined only in the shared states; an empty
+lockset in SHARED_MODIFIED reports a race.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from .base import Detector
+
+__all__ = ["EraserDetector"]
+
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+
+class _VarLockset:
+    __slots__ = ("state", "owner", "lockset", "last_tid", "last_site", "reported")
+
+    def __init__(self) -> None:
+        self.state = VIRGIN
+        self.owner = -1
+        self.lockset: Optional[Set[int]] = None  # None = universal set
+        self.last_tid = -1
+        self.last_site = 0
+        self.reported = False
+
+
+class EraserDetector(Detector):
+    """Imprecise lockset-based detector (reports false positives)."""
+
+    name = "eraser"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._held: Dict[int, Set[int]] = {}  # tid -> locks held
+        self._vars: Dict[int, _VarLockset] = {}
+
+    # -- lock tracking ------------------------------------------------------
+
+    def _locks_of(self, tid: int) -> Set[int]:
+        return self._held.setdefault(tid, set())
+
+    def acquire(self, tid: int, lock: int) -> None:
+        self._locks_of(tid).add(lock)
+
+    def release(self, tid: int, lock: int) -> None:
+        self._locks_of(tid).discard(lock)
+
+    # Eraser has no notion of fork/join or volatile happens-before edges;
+    # this is precisely the source of its false positives.
+
+    def fork(self, tid: int, child: int) -> None:
+        pass
+
+    def join(self, tid: int, child: int) -> None:
+        pass
+
+    def vol_read(self, tid: int, vol: int) -> None:
+        pass
+
+    def vol_write(self, tid: int, vol: int) -> None:
+        pass
+
+    # -- the lockset state machine -------------------------------------------
+
+    def _access(self, tid: int, var: int, site: int, is_write: bool) -> None:
+        state = self._vars.get(var)
+        if state is None:
+            state = _VarLockset()
+            self._vars[var] = state
+            self.counters.words_allocated += 3
+        if state.state == VIRGIN:
+            state.state = EXCLUSIVE
+            state.owner = tid
+        elif state.state == EXCLUSIVE:
+            if tid != state.owner:
+                # First sharing: initialize the candidate lockset.
+                state.state = SHARED_MODIFIED if is_write else SHARED
+                state.lockset = set(self._locks_of(tid))
+        else:
+            if is_write:
+                state.state = SHARED_MODIFIED
+            assert state.lockset is not None
+            state.lockset &= self._locks_of(tid)
+        if (
+            state.state == SHARED_MODIFIED
+            and state.lockset is not None
+            and not state.lockset
+            and not state.reported
+        ):
+            state.reported = True  # Eraser reports each variable once
+            self.report(
+                var,
+                "ww" if is_write else "rw",
+                state.last_tid,
+                0,
+                state.last_site,
+                tid,
+                site,
+            )
+        state.last_tid = tid
+        state.last_site = site
+
+    def read(self, tid: int, var: int, site: int = 0) -> None:
+        self.counters.reads_slow_sampling += 1
+        self._access(tid, var, site, is_write=False)
+
+    def write(self, tid: int, var: int, site: int = 0) -> None:
+        self.counters.writes_slow_sampling += 1
+        self._access(tid, var, site, is_write=True)
+
+    # -- accounting -----------------------------------------------------------
+
+    def footprint_words(self) -> int:
+        total = 0
+        for state in self._vars.values():
+            total += 3 + (len(state.lockset) if state.lockset else 0)
+        for locks in self._held.values():
+            total += 1 + len(locks)
+        return total

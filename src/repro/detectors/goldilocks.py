@@ -1,0 +1,201 @@
+"""The Goldilocks detector (Elmas, Qadeer & Tasiran; paper §6.2).
+
+Goldilocks is the sound-and-precise *lockset* detector: instead of
+vector clocks it keeps, per tracked access, a growing set of
+synchronization elements (threads, locks, volatiles) whose acquisition
+proves happens-before with that access.  The transfer rules walk the
+happens-before relation exactly:
+
+* ``rel(t, m)``   — every set containing ``t`` gains ``m``;
+* ``acq(t, m)``   — every set containing ``m`` gains ``t``;
+* ``vol_wr(t,v)`` — every set containing ``t`` gains ``v``;
+* ``vol_rd(t,v)`` — every set containing ``v`` gains ``t``;
+* ``fork(t, u)``  — every set containing ``t`` gains ``u``;
+* ``join(t, u)``  — every set containing ``u`` gains ``t``.
+
+Invariant: thread ``t`` is in an access's set **iff** that access
+happens-before ``t``'s next action.  An access by ``t`` therefore races
+the recorded access exactly when ``t`` is absent from its set.  With a
+write set per variable plus one set per concurrent reader (mirroring
+FASTTRACK's write epoch + read map), Goldilocks reports *exactly* the
+races FASTTRACK reports — which the property tests check literally.
+
+Implementation: the naive semantics update every lockset at every
+synchronization action (O(tracked sets) per sync op).  We implement the
+standard *inverted index* optimization — ``element -> locksets that
+contain it`` — so each transfer touches only the sets it actually grows.
+This is the "eager" Goldilocks; the paper's lazy short-circuit queue is
+an additional constant-factor optimization with identical output.
+
+Element namespaces (threads / locks / volatiles) are disjoint by
+tagging, so a lock and a thread with the same integer id never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .base import Detector, READ_WRITE, WRITE_READ, WRITE_WRITE
+
+__all__ = ["GoldilocksDetector"]
+
+# element tags: (kind, id) keeps thread/lock/volatile namespaces disjoint
+THREAD = "t"
+LOCK = "m"
+VOLATILE = "v"
+
+
+class _Lockset:
+    """One recorded access: its owner info and its growing element set."""
+
+    __slots__ = ("tid", "site", "index", "is_write", "elements")
+
+    def __init__(self, tid: int, site: int, index: int, is_write: bool) -> None:
+        self.tid = tid
+        self.site = site
+        self.index = index
+        self.is_write = is_write
+        self.elements: Set[Tuple[str, int]] = {(THREAD, tid)}
+
+
+class _VarLocksets:
+    """FASTTRACK-shaped metadata: one write set + per-thread read sets."""
+
+    __slots__ = ("write", "readers")
+
+    def __init__(self) -> None:
+        self.write: Optional[_Lockset] = None
+        self.readers: Dict[int, _Lockset] = {}
+
+
+class GoldilocksDetector(Detector):
+    """Sound and precise race detection via lockset transfer."""
+
+    name = "goldilocks"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._vars: Dict[int, _VarLocksets] = {}
+        # inverted index: element -> live locksets containing it
+        self._index: Dict[Tuple[str, int], List[_Lockset]] = {}
+        self.transfers = 0  # elements added by transfer (work measure)
+
+    # -- index bookkeeping ---------------------------------------------------
+
+    def _register(self, lockset: _Lockset) -> None:
+        for element in lockset.elements:
+            self._index.setdefault(element, []).append(lockset)
+
+    def _unregister(self, lockset: _Lockset) -> None:
+        for element in lockset.elements:
+            entries = self._index.get(element)
+            if entries is not None:
+                try:
+                    entries.remove(lockset)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not entries:
+                    del self._index[element]
+
+    def _transfer(self, source: Tuple[str, int], gained: Tuple[str, int]) -> None:
+        """Every lockset containing ``source`` gains ``gained``."""
+        entries = self._index.get(source)
+        if not entries:
+            return
+        gained_list = self._index.setdefault(gained, [])
+        for lockset in entries:
+            if gained not in lockset.elements:
+                lockset.elements.add(gained)
+                gained_list.append(lockset)
+                self.transfers += 1
+
+    # -- synchronization: pure transfers ------------------------------------------
+
+    def acquire(self, tid: int, lock: int) -> None:
+        self._transfer((LOCK, lock), (THREAD, tid))
+
+    def release(self, tid: int, lock: int) -> None:
+        self._transfer((THREAD, tid), (LOCK, lock))
+
+    def fork(self, tid: int, child: int) -> None:
+        self._transfer((THREAD, tid), (THREAD, child))
+
+    def join(self, tid: int, child: int) -> None:
+        self._transfer((THREAD, child), (THREAD, tid))
+
+    def vol_write(self, tid: int, vol: int) -> None:
+        self._transfer((THREAD, tid), (VOLATILE, vol))
+
+    def vol_read(self, tid: int, vol: int) -> None:
+        self._transfer((VOLATILE, vol), (THREAD, tid))
+
+    # -- accesses ------------------------------------------------------------------
+
+    def _var(self, var: int) -> _VarLocksets:
+        state = self._vars.get(var)
+        if state is None:
+            state = _VarLocksets()
+            self._vars[var] = state
+        return state
+
+    def read(self, tid: int, var: int, site: int = 0) -> None:
+        self.counters.reads_slow_sampling += 1
+        state = self._var(var)
+        me = (THREAD, tid)
+        w = state.write
+        if w is not None and me not in w.elements:
+            self.report(
+                var, WRITE_READ, w.tid, 0, w.site, tid, site, first_index=w.index
+            )
+        # record/refresh this thread's read lockset; an older read by the
+        # same thread is superseded (it happens-before this one).
+        old = state.readers.get(tid)
+        if old is not None:
+            self._unregister(old)
+        lockset = _Lockset(tid, site, self.now, is_write=False)
+        state.readers[tid] = lockset
+        self._register(lockset)
+        self.counters.words_allocated += 2
+
+    def write(self, tid: int, var: int, site: int = 0) -> None:
+        self.counters.writes_slow_sampling += 1
+        state = self._var(var)
+        me = (THREAD, tid)
+        w = state.write
+        if w is not None and me not in w.elements:
+            self.report(
+                var, WRITE_WRITE, w.tid, 0, w.site, tid, site, first_index=w.index
+            )
+        for reader in state.readers.values():
+            if me not in reader.elements:
+                self.report(
+                    var,
+                    READ_WRITE,
+                    reader.tid,
+                    0,
+                    reader.site,
+                    tid,
+                    site,
+                    first_index=reader.index,
+                )
+        # the write supersedes everything recorded so far
+        if w is not None:
+            self._unregister(w)
+        for reader in state.readers.values():
+            self._unregister(reader)
+        state.readers.clear()
+        lockset = _Lockset(tid, site, self.now, is_write=True)
+        state.write = lockset
+        self._register(lockset)
+        self.counters.words_allocated += 2
+
+    # -- accounting ---------------------------------------------------------------
+
+    def footprint_words(self) -> int:
+        total = 0
+        for state in self._vars.values():
+            if state.write is not None:
+                total += 2 + len(state.write.elements)
+            for reader in state.readers.values():
+                total += 2 + len(reader.elements)
+        return total

@@ -1,0 +1,5 @@
+"""Online instrumentation for real Python ``threading`` programs."""
+
+from .monitor import RaceMonitor, SamplingDriver, SharedVar, TrackedLock, TrackedThread
+
+__all__ = ["RaceMonitor", "SamplingDriver", "SharedVar", "TrackedLock", "TrackedThread"]

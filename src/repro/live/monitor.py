@@ -1,0 +1,355 @@
+"""Online race detection for real Python ``threading`` programs.
+
+The GIL serializes Python bytecodes, so true memory races are rare in
+pure Python — but *logical* races (unsynchronized check-then-act,
+read-modify-write) are real bugs, and the happens-before analysis that
+finds them is identical.  This module instruments real threads, locks,
+and shared variables and feeds any :class:`~repro.detectors.base.Detector`
+(PACER included) online.
+
+Usage::
+
+    from repro.live import RaceMonitor
+
+    mon = RaceMonitor()                 # FASTTRACK by default
+    counter = mon.shared("counter", 0)
+    lock = mon.lock("counter_lock")
+
+    def bump():
+        with lock:                      # comment this out -> race reported
+            counter.set(counter.get() + 1)
+
+    threads = [mon.thread(bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    print(mon.detector.races)
+
+Access *sites* default to the caller's ``file:line``, so race reports
+point at real source locations.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..detectors.base import Detector
+from ..detectors.fasttrack import FastTrackDetector
+
+__all__ = ["RaceMonitor", "SharedVar", "TrackedLock", "TrackedThread"]
+
+
+class RaceMonitor:
+    """Bridges real ``threading`` activity into a race detector.
+
+    All detector calls are serialized by an internal mutex, so the
+    analysis itself never races.  Thread ids, variable ids, lock ids,
+    and site ids are interned; :meth:`site_name` maps a site id back to
+    ``file:line`` for reporting.
+    """
+
+    def __init__(self, detector: Optional[Detector] = None) -> None:
+        self.detector = detector if detector is not None else FastTrackDetector()
+        self._mutex = threading.Lock()
+        self._tids: Dict[int, int] = {}  # threading ident -> detector tid
+        self._next_tid = 0
+        self._vars: Dict[str, int] = {}
+        self._locks: Dict[str, int] = {}
+        self._vols: Dict[str, int] = {}
+        self._sites: Dict[Tuple[str, int], int] = {}
+        self._site_names: Dict[int, str] = {}
+
+    # -- interning ----------------------------------------------------------
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        with self._mutex:
+            tid = self._tids.get(ident)
+            if tid is None:
+                tid = self._next_tid
+                self._next_tid += 1
+                self._tids[ident] = tid
+            return tid
+
+    def _intern(self, table: Dict[str, int], name: str, base: int) -> int:
+        with self._mutex:
+            if name not in table:
+                table[name] = base + len(table)
+            return table[name]
+
+    def _site(self, depth: int = 2) -> int:
+        frame = sys._getframe(depth)
+        key = (frame.f_code.co_filename, frame.f_lineno)
+        with self._mutex:
+            site = self._sites.get(key)
+            if site is None:
+                site = 1 + len(self._sites)
+                self._sites[key] = site
+                self._site_names[site] = f"{key[0]}:{key[1]}"
+            return site
+
+    def site_name(self, site: int) -> str:
+        """Source location (``file:line``) for a reported site id."""
+        return self._site_names.get(site, f"site#{site}")
+
+    # -- factories ------------------------------------------------------------
+
+    def shared(self, name: str, initial: Any = None) -> "SharedVar":
+        """A tracked shared variable (reads/writes are analyzed)."""
+        return SharedVar(self, self._intern(self._vars, name, 0), initial)
+
+    def lock(self, name: str) -> "TrackedLock":
+        """A tracked reentrant lock (acquire/release create HB edges)."""
+        return TrackedLock(self, self._intern(self._locks, name, 100_000))
+
+    def volatile(self, name: str, initial: Any = None) -> "VolatileVar":
+        """A tracked volatile variable (java-style release/acquire)."""
+        return VolatileVar(self, self._intern(self._vols, name, 200_000), initial)
+
+    def thread(
+        self, target: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> "TrackedThread":
+        """A tracked thread (start/join create fork/join HB edges)."""
+        return TrackedThread(self, target, args, kwargs)
+
+    # -- event entry points (serialized) -----------------------------------------
+
+    def on_read(self, var: int, site: int) -> None:
+        tid = self._tid()
+        with self._mutex:
+            self.detector.read(tid, var, site)
+
+    def on_write(self, var: int, site: int) -> None:
+        tid = self._tid()
+        with self._mutex:
+            self.detector.write(tid, var, site)
+
+    def on_acquire(self, lock: int) -> None:
+        tid = self._tid()
+        with self._mutex:
+            self.detector.acquire(tid, lock)
+
+    def on_release(self, lock: int) -> None:
+        tid = self._tid()
+        with self._mutex:
+            self.detector.release(tid, lock)
+
+    def on_fork(self, child_ident: int) -> None:
+        parent = self._tid()
+        with self._mutex:
+            child = self._tids.get(child_ident)
+            if child is None:
+                child = self._next_tid
+                self._next_tid += 1
+                self._tids[child_ident] = child
+            self.detector.fork(parent, child)
+
+    def on_join(self, child_ident: int) -> None:
+        tid = self._tid()
+        with self._mutex:
+            child = self._tids.get(child_ident)
+            if child is not None:
+                self.detector.join(tid, child)
+
+    def on_vol_read(self, vol: int) -> None:
+        tid = self._tid()
+        with self._mutex:
+            self.detector.vol_read(tid, vol)
+
+    def on_vol_write(self, vol: int) -> None:
+        tid = self._tid()
+        with self._mutex:
+            self.detector.vol_write(tid, vol)
+
+    def describe_races(self) -> str:
+        """Human-readable race report with source locations."""
+        lines = []
+        for race in self.detector.races:
+            lines.append(
+                f"race[{race.kind}] t{race.first_tid} at "
+                f"{self.site_name(race.first_site)} vs t{race.second_tid} at "
+                f"{self.site_name(race.second_site)}"
+            )
+        return "\n".join(lines)
+
+
+class SharedVar:
+    """A tracked shared variable; ``get``/``set`` feed the detector."""
+
+    __slots__ = ("_monitor", "_var", "_value")
+
+    def __init__(self, monitor: RaceMonitor, var: int, initial: Any) -> None:
+        self._monitor = monitor
+        self._var = var
+        self._value = initial
+
+    def get(self) -> Any:
+        self._monitor.on_read(self._var, self._monitor._site())
+        return self._value
+
+    def set(self, value: Any) -> None:
+        self._monitor.on_write(self._var, self._monitor._site())
+        self._value = value
+
+
+class VolatileVar:
+    """A tracked volatile: reads acquire, writes release (JMM-style)."""
+
+    __slots__ = ("_monitor", "_vol", "_value")
+
+    def __init__(self, monitor: RaceMonitor, vol: int, initial: Any) -> None:
+        self._monitor = monitor
+        self._vol = vol
+        self._value = initial
+
+    def get(self) -> Any:
+        self._monitor.on_vol_read(self._vol)
+        return self._value
+
+    def set(self, value: Any) -> None:
+        self._value = value
+        self._monitor.on_vol_write(self._vol)
+
+
+class TrackedLock:
+    """A reentrant lock whose acquire/release create HB edges."""
+
+    def __init__(self, monitor: RaceMonitor, lock_id: int) -> None:
+        self._monitor = monitor
+        self._id = lock_id
+        self._lock = threading.RLock()
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+        self._monitor.on_acquire(self._id)
+
+    def release(self) -> None:
+        self._monitor.on_release(self._id)
+        self._lock.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class TrackedThread:
+    """A thread wrapper emitting fork/join happens-before edges."""
+
+    def __init__(
+        self,
+        monitor: RaceMonitor,
+        target: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+    ) -> None:
+        self._monitor = monitor
+        self._started = threading.Event()
+        self._forked = threading.Event()
+        self._ident: Optional[int] = None
+
+        def runner() -> None:
+            self._ident = threading.get_ident()
+            self._started.set()
+            # Wait for the parent to record the fork edge, so no child
+            # access can be analyzed before the happens-before edge exists.
+            self._forked.wait()
+            target(*args, **kwargs)
+
+        self._thread = threading.Thread(target=runner)
+
+    def start(self) -> None:
+        self._thread.start()
+        self._started.wait()
+        assert self._ident is not None
+        self._monitor.on_fork(self._ident)
+        self._forked.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+        if self._ident is not None and not self._thread.is_alive():
+            self._monitor.on_join(self._ident)
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+
+class SamplingDriver:
+    """Drives PACER's global sampling periods for live programs.
+
+    The simulator toggles sampling at GC boundaries; real Python has no
+    GC-boundary hook with the right granularity, so this driver uses a
+    wall-clock period (the paper's mechanism is "toggle at periodic
+    safepoints with probability r" — the clock stands in for the
+    safepoint).  Start it around the threaded section::
+
+        mon = RaceMonitor(detector=PacerDetector())
+        driver = SamplingDriver(mon, rate=0.03, period_s=0.005)
+        driver.start()
+        ...run threads...
+        driver.stop()
+
+    All toggles go through the monitor's mutex, so they serialize with
+    the analysis exactly like the paper's global sampling flag.
+    """
+
+    def __init__(
+        self,
+        monitor: RaceMonitor,
+        rate: float,
+        period_s: float = 0.005,
+        rng: Optional[Any] = None,
+    ) -> None:
+        import random as _random
+
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self._monitor = monitor
+        self.rate = rate
+        self.period_s = period_s
+        self._rng = rng or _random.Random()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.periods = 0
+        self.sampled_periods = 0
+
+    def _toggle_once(self) -> None:
+        detector = self._monitor.detector
+        sample = self._rng.random() < self.rate
+        self.periods += 1
+        with self._monitor._mutex:
+            if sample:
+                self.sampled_periods += 1
+                detector.begin_sampling()
+            else:
+                detector.end_sampling()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.period_s):
+            self._toggle_once()
+
+    def start(self) -> "SamplingDriver":
+        # decide the first period immediately, so short-lived threaded
+        # sections still fall under the intended sampling regime
+        self._toggle_once()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+        with self._monitor._mutex:
+            self._monitor.detector.end_sampling()
+
+    def __enter__(self) -> "SamplingDriver":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -1,0 +1,43 @@
+"""The concurrent-program simulator: the substrate replacing Jikes RVM."""
+
+from .program import (
+    Acquire,
+    Alloc,
+    Enter,
+    Exit,
+    Fork,
+    Join,
+    Op,
+    Program,
+    Read,
+    Release,
+    VolRead,
+    VolWrite,
+    Work,
+    Write,
+)
+from .runtime import MemorySnapshot, Runtime, RuntimeConfig
+from .scheduler import DeadlockError, Scheduler, run_program
+
+__all__ = [
+    "Program",
+    "Op",
+    "Read",
+    "Write",
+    "Acquire",
+    "Release",
+    "Fork",
+    "Join",
+    "VolRead",
+    "VolWrite",
+    "Enter",
+    "Exit",
+    "Alloc",
+    "Work",
+    "Scheduler",
+    "DeadlockError",
+    "run_program",
+    "Runtime",
+    "RuntimeConfig",
+    "MemorySnapshot",
+]

@@ -1,0 +1,192 @@
+"""The concurrent-program DSL for the simulator.
+
+A *program* is a set of thread bodies.  A thread body is a Python
+generator function that yields :class:`Op` values — the simulator's
+analogue of JVM bytecode.  The scheduler (:mod:`repro.sim.scheduler`)
+interleaves the generators preemptively, enforces lock and join
+semantics, and emits the corresponding trace events.
+
+Example::
+
+    def worker(tid):
+        yield Acquire(LOCK)
+        yield Read(COUNTER, site=1)
+        yield Write(COUNTER, site=2)
+        yield Release(LOCK)
+
+    def main(tid):
+        child = yield Fork(worker)      # Fork yields the child's tid back
+        yield Write(FLAG, site=3)
+        yield Join(child)
+
+    program = Program(main)
+
+``Fork`` takes a body *function* (called with the child's tid); the
+scheduler sends the allocated child tid back into the parent generator,
+so ``child = yield Fork(worker)`` works as shown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Op",
+    "Read",
+    "Write",
+    "Acquire",
+    "Release",
+    "Fork",
+    "Join",
+    "Wait",
+    "Notify",
+    "NotifyAll",
+    "VolRead",
+    "VolWrite",
+    "Enter",
+    "Exit",
+    "Alloc",
+    "Work",
+    "Program",
+    "ThreadBody",
+]
+
+#: a thread body: called with the thread's tid, returns an op generator
+ThreadBody = Callable[[int], Generator["Op", Optional[int], None]]
+
+
+class Op:
+    """Base class for program operations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Read(Op):
+    """Read data variable ``var`` at static program location ``site``."""
+
+    var: int
+    site: int = 0
+
+
+@dataclass(frozen=True)
+class Write(Op):
+    """Write data variable ``var`` at static program location ``site``."""
+
+    var: int
+    site: int = 0
+
+
+@dataclass(frozen=True)
+class Acquire(Op):
+    """Acquire lock ``lock`` (blocks while another thread holds it).
+
+    Locks are reentrant, like Java monitors.
+    """
+
+    lock: int
+
+
+@dataclass(frozen=True)
+class Release(Op):
+    """Release lock ``lock`` (must be held by this thread)."""
+
+    lock: int
+
+
+@dataclass(frozen=True)
+class Fork(Op):
+    """Start a new thread running ``body``; yields the child tid back."""
+
+    body: ThreadBody
+
+
+@dataclass(frozen=True)
+class Join(Op):
+    """Block until thread ``tid`` terminates."""
+
+    tid: int
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Java-style ``m.wait()``: must hold ``lock``; releases it fully,
+    blocks until a :class:`Notify`/:class:`NotifyAll` on the same lock,
+    then reacquires before continuing.  Emits the monitor's release and
+    re-acquire as trace events (per the JMM, wait/notify itself adds no
+    happens-before edge beyond the monitor)."""
+
+    lock: int
+
+
+@dataclass(frozen=True)
+class Notify(Op):
+    """Java-style ``m.notify()``: wakes one waiter (must hold ``lock``)."""
+
+    lock: int
+
+
+@dataclass(frozen=True)
+class NotifyAll(Op):
+    """Java-style ``m.notifyAll()``: wakes every waiter (must hold ``lock``)."""
+
+    lock: int
+
+
+@dataclass(frozen=True)
+class VolRead(Op):
+    """Read volatile variable ``vol`` (an acquire-like sync action)."""
+
+    vol: int
+
+
+@dataclass(frozen=True)
+class VolWrite(Op):
+    """Write volatile variable ``vol`` (a release-like sync action)."""
+
+    vol: int
+
+
+@dataclass(frozen=True)
+class Enter(Op):
+    """Enter method ``method`` (drives LiteRace's per-method sampling)."""
+
+    method: int
+
+
+@dataclass(frozen=True)
+class Exit(Op):
+    """Leave method ``method``."""
+
+    method: int
+
+
+@dataclass(frozen=True)
+class Alloc(Op):
+    """Allocate ``nbytes`` of program memory; ``live_delta`` adjusts the
+    live-object count used by the space model (Figure 10)."""
+
+    nbytes: int
+    live_delta: int = 0
+
+
+@dataclass(frozen=True)
+class Work(Op):
+    """``units`` of pure computation: consumes scheduler time, emits no
+    trace event.  Used by the cost model as uninstrumented base work."""
+
+    units: int = 1
+
+
+@dataclass
+class Program:
+    """One or more root thread bodies (each becomes a live thread at
+    startup; the first is the main thread, tid 0)."""
+
+    main: ThreadBody
+    extra_roots: List[ThreadBody] = field(default_factory=list)
+
+    @property
+    def roots(self) -> List[ThreadBody]:
+        return [self.main] + list(self.extra_roots)

@@ -1,0 +1,41 @@
+"""Synthetic benchmarks calibrated to the paper's Table 2."""
+
+from .base import RacySite, WorkloadSpec, WORKLOADS, build_program
+from .eclipse import ECLIPSE
+from .hsqldb import HSQLDB
+from .micro import (
+    counter_race,
+    producer_consumer,
+    fork_join_tree,
+    lock_ping_pong,
+    redundant_sync_storm,
+    volatile_flag,
+)
+from .pseudojbb import PSEUDOJBB
+from .xalan import XALAN
+
+WORKLOADS.update(
+    {
+        "eclipse": ECLIPSE,
+        "hsqldb": HSQLDB,
+        "xalan": XALAN,
+        "pseudojbb": PSEUDOJBB,
+    }
+)
+
+__all__ = [
+    "RacySite",
+    "WorkloadSpec",
+    "WORKLOADS",
+    "build_program",
+    "ECLIPSE",
+    "HSQLDB",
+    "XALAN",
+    "PSEUDOJBB",
+    "counter_race",
+    "producer_consumer",
+    "lock_ping_pong",
+    "fork_join_tree",
+    "volatile_flag",
+    "redundant_sync_storm",
+]

@@ -1,0 +1,279 @@
+"""Synthetic workload framework, calibrated against Table 2.
+
+The paper evaluates on DaCapo's eclipse/hsqldb/xalan plus pseudojbb.
+Those exact programs are unreproducible here (they need a JVM), so each
+workload is a synthetic program matched on the characteristics that the
+paper's results actually depend on:
+
+* **thread structure** — total threads started and max simultaneously
+  live (Table 2's first columns), realized as waves of forked workers;
+* **distinct races and their occurrence rates** — each workload embeds a
+  set of *racy sites* (unsynchronized accesses to dedicated variables);
+  per-trial gating probabilities make some races frequent and some rare,
+  mirroring Table 2's ≥1/≥5/≥25-trial columns;
+* **hot/cold code structure** — racy accesses can sit in the hot loop
+  (executed thousands of times; LiteRace's adaptive sampler goes to its
+  minimum rate there) or in cold per-thread methods (executed once) —
+  the distinction that drives Figure 6;
+* **operation mix** — ~3% of analyzed operations are synchronization
+  (paper §2.2), the rest reads/writes, mostly well-locked;
+* **allocation** — a steady allocation stream plus live-set growth, so
+  GC-boundary sampling and the Figure 10 space model behave like the
+  paper's runs.
+
+Every workload is deterministic in ``(spec, trial_seed)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..program import (
+    Acquire,
+    Alloc,
+    Enter,
+    Exit,
+    Fork,
+    Join,
+    Op,
+    Program,
+    Read,
+    Release,
+    VolRead,
+    VolWrite,
+    Write,
+)
+
+__all__ = ["RacySite", "WorkloadSpec", "build_program", "WORKLOADS"]
+
+# id-space layout (keeps variables/locks/volatiles/sites disjoint & stable)
+SHARED_VAR_BASE = 0
+RACY_VAR_BASE = 5_000
+LOCK_BASE = 100_000
+VOL_BASE = 200_000
+RACY_SITE_BASE = 10_000
+HOT_METHOD = 1
+COLD_METHOD_BASE = 100
+
+
+@dataclass(frozen=True)
+class RacySite:
+    """One injected *distinct* race.
+
+    ``probability`` gates, per worker per iteration (hot) or per worker
+    (cold), whether the racy access executes, which controls how often
+    the race occurs across trials.  ``hot`` places the access inside the
+    hot loop method; cold races live in a per-thread cold method.
+    ``kind`` is ``"ww"`` (two unsynchronized writes) or ``"wr"`` (an
+    unsynchronized write racing unsynchronized reads).
+    """
+
+    race_id: int
+    probability: float
+    hot: bool = True
+    kind: str = "ww"
+
+    @property
+    def var(self) -> int:
+        return RACY_VAR_BASE + self.race_id
+
+    @property
+    def writer_site(self) -> int:
+        return RACY_SITE_BASE + 2 * self.race_id
+
+    @property
+    def reader_site(self) -> int:
+        """Second site: a read for "wr" races, a second write for "ww"."""
+        return RACY_SITE_BASE + 2 * self.race_id + 1
+
+    @property
+    def distinct_keys(self) -> List[Tuple[int, int]]:
+        """Site pairs this race can be reported as (either order)."""
+        w, r = self.writer_site, self.reader_site
+        return [(w, r), (r, w), (w, w)] if self.kind == "ww" else [(w, r), (r, w)]
+
+
+@dataclass
+class WorkloadSpec:
+    """Shape parameters for one synthetic benchmark."""
+
+    name: str
+    n_waves: int = 1
+    wave_size: int = 8
+    waves: Optional[List[int]] = None  # explicit per-wave worker counts
+    iterations: int = 200
+    n_shared: int = 64  # well-locked shared variables
+    n_locks: int = 8
+    n_vols: int = 4
+    accesses_per_iteration: int = 60
+    sync_every: int = 2  # lock-protect every k-th access cluster
+    vol_every: int = 40  # volatile handshake every k iterations
+    alloc_every: int = 4  # allocation every k iterations
+    alloc_bytes: int = 64
+    live_every: int = 16  # iterations between live-set growth
+    racy_sites: List[RacySite] = field(default_factory=list)
+    cold_iterations: int = 4  # accesses inside each cold method
+
+    def scaled(self, scale: float) -> "WorkloadSpec":
+        """A copy with the hot-loop iteration count scaled."""
+        import copy
+
+        spec = copy.copy(self)
+        spec.racy_sites = list(self.racy_sites)
+        spec.iterations = max(8, int(self.iterations * scale))
+        return spec
+
+    @property
+    def wave_sizes(self) -> List[int]:
+        if self.waves is not None:
+            return list(self.waves)
+        return [self.wave_size] * self.n_waves
+
+    @property
+    def threads_total(self) -> int:
+        return 1 + sum(self.wave_sizes)
+
+    @property
+    def max_live(self) -> int:
+        return 1 + max(self.wave_sizes)
+
+    @property
+    def distinct_race_ids(self) -> List[int]:
+        return [site.race_id for site in self.racy_sites]
+
+
+def _worker(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    worker_index: int,
+    wave_pos: int,
+    wave_size: int,
+) -> Generator[Op, Optional[int], None]:
+    """One worker thread's body.
+
+    Each racy site is assigned to exactly two workers per wave — a writer
+    and a partner (reader or second writer) — so each injected race
+    contributes one distinct site pair.  The bulk of the work is
+    well-synchronized shared traffic plus thread-local accesses, tuned so
+    synchronization is a few percent of analyzed operations (§2.2).
+    """
+    my_races = []
+    for site in spec.racy_sites:
+        writer_pos = site.race_id % max(wave_size, 1)
+        partner_pos = (site.race_id + 1) % max(wave_size, 1)
+        if wave_pos == writer_pos:
+            my_races.append((site, True))
+        elif wave_pos == partner_pos:
+            my_races.append((site, False))
+    hot_races = [(s, w) for s, w in my_races if s.hot]
+    cold_races = [(s, w) for s, w in my_races if not s.hot]
+    for i in range(spec.iterations):
+        # Each iteration is one invocation of the hot method, so
+        # LiteRace's per-invocation adaptive sampler sees it as hot.
+        yield Enter(HOT_METHOD)
+        # One critical section per iteration over the shared state.  The
+        # lock class partitions variables (var % n_locks == lock class),
+        # so the locking discipline is consistent and race-free.
+        var = SHARED_VAR_BASE + rng.randrange(spec.n_shared)
+        lock = LOCK_BASE + var % spec.n_locks
+        yield Acquire(lock)
+        for a in range(3):
+            v = SHARED_VAR_BASE + (var + a * spec.n_locks) % spec.n_shared
+            if rng.random() < 0.3:
+                yield Write(v, v * 4 + 2)
+            else:
+                yield Read(v, v * 4)
+        yield Release(lock)
+        # ... plus a run of thread-local work so synchronization stays a
+        # few percent of analyzed operations, as in the paper's suite.
+        for a in range(spec.accesses_per_iteration):
+            private = 1_000_000 + worker_index * 1_000 + (var + a) % 97
+            if rng.random() < 0.3:
+                yield Write(private, 3)
+            else:
+                yield Read(private, 1)
+        if i % spec.vol_every == 0 and spec.n_vols:
+            # Volatiles are status flags with a single habitual writer
+            # (the paper observes volatile writes are usually totally
+            # ordered, which lets PACER keep precise version epochs).
+            vol_index = rng.randrange(spec.n_vols)
+            vol = VOL_BASE + vol_index
+            if vol_index % max(wave_size, 1) == wave_pos:
+                yield VolWrite(vol)
+            else:
+                yield VolRead(vol)
+        if i % spec.alloc_every == 0:
+            grow = 1 if i % spec.live_every == 0 else 0
+            yield Alloc(spec.alloc_bytes, grow)
+        # Hot races fire only in steady state (after the first quarter of
+        # the loop): real hot-code races do not cluster in warm-up, which
+        # adaptive code samplers like LiteRace instrument heavily.
+        if 4 * i >= spec.iterations:
+            for site, is_writer in hot_races:
+                if rng.random() < site.probability:
+                    yield from _racy_access(site, is_writer)
+        yield Exit(HOT_METHOD)
+    # Cold code: executed once per worker; LiteRace samples it at 100%.
+    cold_method = COLD_METHOD_BASE + worker_index % 7
+    yield Enter(cold_method)
+    for site, is_writer in cold_races:
+        if rng.random() < min(1.0, site.probability * spec.iterations):
+            for _ in range(spec.cold_iterations):
+                yield from _racy_access(site, is_writer)
+    yield Exit(cold_method)
+
+
+def _racy_access(site: RacySite, is_writer: bool) -> Generator[Op, Optional[int], None]:
+    if is_writer:
+        yield Write(site.var, site.writer_site)
+    elif site.kind == "ww":
+        yield Write(site.var, site.reader_site)
+    else:
+        yield Read(site.var, site.reader_site)
+
+
+def build_program(spec: WorkloadSpec, trial_seed: int = 0) -> Program:
+    """Instantiate a workload as a runnable :class:`Program`."""
+
+    def main(tid: int) -> Generator[Op, Optional[int], None]:
+        base = random.Random(f"{trial_seed}/{spec.name}")
+        worker_index = 0
+        for wave_size in spec.wave_sizes:
+            children = []
+            for wave_pos in range(wave_size):
+                rng = random.Random(f"{trial_seed}/{spec.name}/{worker_index}")
+                body = _make_body(spec, rng, worker_index, wave_pos, wave_size)
+                child = yield Fork(body)
+                children.append(child)
+                worker_index += 1
+            # main thread does a little of its own (always-sampledable) work
+            for i in range(8):
+                var = SHARED_VAR_BASE + base.randrange(spec.n_shared)
+                lock = LOCK_BASE + var % spec.n_locks
+                yield Acquire(lock)
+                yield Read(var, var * 4)
+                yield Release(lock)
+                yield Alloc(spec.alloc_bytes, 0)
+            for child in children:
+                yield Join(child)
+
+    return Program(main)
+
+
+def _make_body(
+    spec: WorkloadSpec,
+    rng: random.Random,
+    worker_index: int,
+    wave_pos: int,
+    wave_size: int,
+):
+    def body(tid: int):
+        return _worker(spec, rng, worker_index, wave_pos, wave_size)
+
+    return body
+
+
+#: Registry filled in by the per-benchmark modules; see workloads/__init__.
+WORKLOADS: Dict[str, WorkloadSpec] = {}

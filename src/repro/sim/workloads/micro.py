@@ -1,0 +1,221 @@
+"""Microbenchmarks: small targeted programs for tests and ablations."""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from ..program import (
+    Acquire,
+    Alloc,
+    Fork,
+    Join,
+    Op,
+    Program,
+    Read,
+    Release,
+    VolRead,
+    VolWrite,
+    Write,
+)
+
+__all__ = [
+    "counter_race",
+    "producer_consumer",
+    "lock_ping_pong",
+    "fork_join_tree",
+    "volatile_flag",
+    "redundant_sync_storm",
+]
+
+
+def counter_race(n_threads: int = 2, increments: int = 50) -> Program:
+    """The classic unsynchronized counter: read-modify-write on one var."""
+
+    COUNTER = 1
+
+    def worker(tid: int) -> Generator[Op, Optional[int], None]:
+        for i in range(increments):
+            yield Read(COUNTER, site=10)
+            yield Write(COUNTER, site=11)
+
+    def main(tid: int) -> Generator[Op, Optional[int], None]:
+        children = []
+        for _ in range(n_threads):
+            children.append((yield Fork(worker)))
+        for child in children:
+            yield Join(child)
+
+    return Program(main)
+
+
+def lock_ping_pong(rounds: int = 100, n_locks: int = 1) -> Program:
+    """Two threads alternating on shared locks — heavy, fully-ordered
+    synchronization traffic (exercises PACER's version fast path)."""
+
+    VAR = 1
+
+    def worker(tid: int) -> Generator[Op, Optional[int], None]:
+        for i in range(rounds):
+            lock = 100 + i % n_locks
+            yield Acquire(lock)
+            yield Read(VAR, site=20)
+            yield Write(VAR, site=21)
+            yield Release(lock)
+
+    def main(tid: int) -> Generator[Op, Optional[int], None]:
+        a = yield Fork(worker)
+        b = yield Fork(worker)
+        yield Join(a)
+        yield Join(b)
+
+    return Program(main)
+
+
+def fork_join_tree(depth: int = 3, work: int = 10) -> Program:
+    """A binary fork/join tree with parent/child data handoff.
+
+    Parents publish work into a shared cell *before* forking; children
+    read and update it; parents read the result *after* joining.  All
+    sharing is ordered purely by fork/join edges, so the program is
+    race-free — and a false-positive generator for lockset detectors,
+    which cannot see those edges.
+    """
+
+    def node(level: int, inbox: Optional[int]):
+        def body(tid: int) -> Generator[Op, Optional[int], None]:
+            if inbox is not None:
+                yield Read(inbox, site=34)  # pick up the parent's handoff
+                yield Write(inbox, site=35)  # leave a result behind
+            var = 1000 + tid
+            for i in range(work):
+                yield Write(var, site=30)
+                yield Read(var, site=31)
+            if level > 0:
+                # one handoff cell per child, so siblings never share
+                left_cell, right_cell = 2000 + 2 * tid, 2001 + 2 * tid
+                yield Write(left_cell, site=32)  # publish before forking
+                yield Write(right_cell, site=32)
+                left = yield Fork(node(level - 1, left_cell))
+                right = yield Fork(node(level - 1, right_cell))
+                yield Join(left)
+                yield Join(right)
+                yield Read(left_cell, site=33)  # collect after joining
+                yield Read(right_cell, site=33)
+
+        return body
+
+    return Program(node(depth, None))
+
+
+def volatile_flag(iterations: int = 50) -> Program:
+    """Producer/consumer over a volatile flag, plus one unsynchronized
+    slip at the end.
+
+    The slip (variable 2) always races.  The data variable (1) is
+    protected only when the consumer's volatile read observes a prior
+    volatile write; schedules where the consumer runs ahead exhibit a
+    genuine publication race — this micro is deliberately
+    schedule-sensitive (the DSL has no value-dependent spin loops).
+    """
+
+    DATA, SLIP = 1, 2
+    FLAG = 300
+
+    def producer(tid: int) -> Generator[Op, Optional[int], None]:
+        for i in range(iterations):
+            yield Write(DATA, site=40)
+            yield VolWrite(FLAG)
+        yield Write(SLIP, site=44)  # not protected by the flag protocol
+
+    def consumer(tid: int) -> Generator[Op, Optional[int], None]:
+        for i in range(iterations):
+            yield VolRead(FLAG)
+            yield Read(DATA, site=41)
+        yield Write(SLIP, site=45)
+
+    def main(tid: int) -> Generator[Op, Optional[int], None]:
+        p = yield Fork(producer)
+        c = yield Fork(consumer)
+        yield Join(p)
+        yield Join(c)
+
+    return Program(main)
+
+
+def redundant_sync_storm(
+    n_threads: int = 8, rounds: int = 200, n_locks: int = 4, seed: int = 0
+) -> Program:
+    """Threads endlessly re-acquiring the same few locks with almost no
+    data traffic: in non-sampling periods nearly every PACER join should
+    hit the version fast path (the Table 3 scenario distilled)."""
+
+    rng = random.Random(seed)
+
+    def worker(tid: int) -> Generator[Op, Optional[int], None]:
+        local = random.Random(f"{seed}/{tid}")
+        for i in range(rounds):
+            lock = 100 + local.randrange(n_locks)
+            yield Acquire(lock)
+            if i % 50 == 0:
+                yield Write(1, site=50)
+            yield Release(lock)
+            if i % 25 == 0:
+                yield Alloc(64, 0)
+
+    def main(tid: int) -> Generator[Op, Optional[int], None]:
+        children = []
+        for _ in range(n_threads):
+            children.append((yield Fork(worker)))
+        for child in children:
+            yield Join(child)
+
+    return Program(main)
+
+
+def producer_consumer(items: int = 20, n_consumers: int = 2) -> Program:
+    """Bounded handoff via ``wait``/``notifyAll`` (the standard guarded
+    pattern: waiters re-check a condition in a loop, so no lost wakeup).
+
+    Properly synchronized — the data variable is only touched under the
+    monitor — so this is race-free, and a regression test for the
+    scheduler's monitor wait-set semantics.
+    """
+    from ..program import NotifyAll, Wait
+
+    L, DATA = 900, 90
+    ready = {"count": 0, "done": False}  # meta-level state (not traced)
+
+    def consumer(tid: int) -> Generator[Op, Optional[int], None]:
+        consumed = 0
+        while True:
+            yield Acquire(L)
+            while ready["count"] == 0 and not ready["done"]:
+                yield Wait(L)
+            if ready["count"] > 0:
+                ready["count"] -= 1
+                yield Read(DATA, site=91)
+                consumed += 1
+                yield Release(L)
+            else:  # done and drained
+                yield Release(L)
+                return
+
+    def main(tid: int) -> Generator[Op, Optional[int], None]:
+        children = []
+        for _ in range(n_consumers):
+            children.append((yield Fork(consumer)))
+        for _ in range(items):
+            yield Acquire(L)
+            yield Write(DATA, site=92)
+            ready["count"] += 1
+            yield NotifyAll(L)
+            yield Release(L)
+        yield Acquire(L)
+        ready["done"] = True
+        yield NotifyAll(L)
+        yield Release(L)
+        for child in children:
+            yield Join(child)
+
+    return Program(main)

@@ -1,0 +1,46 @@
+"""xalan-like workload (Table 2: 9 threads, all live at once, 73 races).
+
+xalan (XSLT transformation) runs a small fixed pool of worker threads
+flat out.  Its race population has the longest tail in the suite: 73
+distinct races observed overall, but only 19 appear in at least half of
+the fully-sampled trials — most of its races are scheduling-luck races.
+"""
+
+from __future__ import annotations
+
+from .base import RacySite, WorkloadSpec
+
+__all__ = ["XALAN"]
+
+
+def _races() -> list:
+    sites = []
+    rid = 0
+    # 19 frequent races
+    for _ in range(19):
+        sites.append(RacySite(rid, probability=0.07, hot=True, kind="ww" if rid % 3 else "wr"))
+        rid += 1
+    # 15 medium
+    for k in range(15):
+        sites.append(RacySite(rid, probability=0.006, hot=k % 2 == 0, kind="wr"))
+        rid += 1
+    # 36 occasional (the long tail: present in ≥1 of 50 trials)
+    for k in range(36):
+        sites.append(RacySite(rid, probability=0.010, hot=k % 3 != 0, kind="ww" if k % 2 else "wr"))
+        rid += 1
+    # 3 very rare
+    for _ in range(3):
+        sites.append(RacySite(rid, probability=0.0008, hot=False, kind="wr"))
+        rid += 1
+    return sites
+
+
+XALAN = WorkloadSpec(
+    name="xalan",
+    waves=[8],  # 9 threads total, all simultaneously live
+    iterations=90,
+    n_shared=96,
+    n_locks=12,
+    n_vols=4,
+    racy_sites=_races(),
+)

@@ -1,0 +1,33 @@
+"""Trace substrate: events, validation, oracle, generation, serialization."""
+
+from .events import Event
+from .generator import GeneratorConfig, race_free_trace, random_trace
+from .oracle import AccessInfo, HBOracle, RacePair
+from .binio import (
+    dump_trace_binary,
+    dumps_binary,
+    load_trace_binary,
+    loads_binary,
+)
+from .textio import dump_trace, dumps_trace, load_trace, loads_trace
+from .trace import Trace, TraceError
+
+__all__ = [
+    "Event",
+    "Trace",
+    "TraceError",
+    "HBOracle",
+    "AccessInfo",
+    "RacePair",
+    "GeneratorConfig",
+    "random_trace",
+    "race_free_trace",
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "dump_trace_binary",
+    "dumps_binary",
+    "load_trace_binary",
+    "loads_binary",
+]

@@ -1,0 +1,163 @@
+"""The event alphabet of the paper's formal semantics (Appendix A).
+
+A trace is a sequence of :class:`Event` records.  The core alphabet is
+
+``rd, wr, acq, rel, fork, join, vol_rd, vol_wr, sbegin, send``
+
+exactly as in Appendix A.  Two auxiliary kinds support the substrate:
+``m_enter``/``m_exit`` delimit method invocations (needed by the
+LiteRace baseline, which samples at method granularity) and ``alloc``
+models heap allocation (drives the simulator's GC-based sampling).
+Detectors that do not care about an auxiliary kind ignore it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "ACQUIRE",
+    "RELEASE",
+    "FORK",
+    "JOIN",
+    "VOL_READ",
+    "VOL_WRITE",
+    "SBEGIN",
+    "SEND",
+    "METHOD_ENTER",
+    "METHOD_EXIT",
+    "ALLOC",
+    "KINDS",
+    "SYNC_KINDS",
+    "ACCESS_KINDS",
+    "Event",
+    "rd",
+    "wr",
+    "acq",
+    "rel",
+    "fork",
+    "join",
+    "vol_rd",
+    "vol_wr",
+    "sbegin",
+    "send",
+]
+
+READ = "rd"
+WRITE = "wr"
+ACQUIRE = "acq"
+RELEASE = "rel"
+FORK = "fork"
+JOIN = "join"
+VOL_READ = "vol_rd"
+VOL_WRITE = "vol_wr"
+SBEGIN = "sbegin"
+SEND = "send"
+METHOD_ENTER = "m_enter"
+METHOD_EXIT = "m_exit"
+ALLOC = "alloc"
+
+KINDS = frozenset(
+    {
+        READ,
+        WRITE,
+        ACQUIRE,
+        RELEASE,
+        FORK,
+        JOIN,
+        VOL_READ,
+        VOL_WRITE,
+        SBEGIN,
+        SEND,
+        METHOD_ENTER,
+        METHOD_EXIT,
+        ALLOC,
+    }
+)
+
+#: Kinds that are synchronization actions (Appendix A).
+SYNC_KINDS = frozenset({ACQUIRE, RELEASE, FORK, JOIN, VOL_READ, VOL_WRITE})
+
+#: Kinds that access data variables and may race.
+ACCESS_KINDS = frozenset({READ, WRITE})
+
+
+class Event(NamedTuple):
+    """One trace action.
+
+    ``tid`` is the acting thread (-1 for the global ``sbegin``/``send``
+    actions, which are not initiated by any thread).  ``target`` is the
+    variable, lock, volatile, peer thread, method, or byte count,
+    depending on ``kind``.  ``site`` identifies the static program
+    location, used in race reports.
+    """
+
+    kind: str
+    tid: int
+    target: int
+    site: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - repr cosmetics
+        if self.kind in (SBEGIN, SEND):
+            return self.kind
+        return f"{self.kind}(t{self.tid}, {self.target})@{self.site}"
+
+
+# -- concise constructors (used heavily in tests and examples) ------------
+
+
+def rd(tid: int, var: int, site: int = 0) -> Event:
+    """Thread ``tid`` reads data variable ``var``."""
+    return Event(READ, tid, var, site)
+
+
+def wr(tid: int, var: int, site: int = 0) -> Event:
+    """Thread ``tid`` writes data variable ``var``."""
+    return Event(WRITE, tid, var, site)
+
+
+def acq(tid: int, lock: int, site: int = 0) -> Event:
+    """Thread ``tid`` acquires lock ``lock``."""
+    return Event(ACQUIRE, tid, lock, site)
+
+
+def rel(tid: int, lock: int, site: int = 0) -> Event:
+    """Thread ``tid`` releases lock ``lock``."""
+    return Event(RELEASE, tid, lock, site)
+
+
+def fork(tid: int, child: int, site: int = 0) -> Event:
+    """Thread ``tid`` forks thread ``child``."""
+    return Event(FORK, tid, child, site)
+
+
+def join(tid: int, child: int, site: int = 0) -> Event:
+    """Thread ``tid`` joins (waits for) thread ``child``."""
+    return Event(JOIN, tid, child, site)
+
+
+def vol_rd(tid: int, vol: int, site: int = 0) -> Event:
+    """Thread ``tid`` reads volatile ``vol``."""
+    return Event(VOL_READ, tid, vol, site)
+
+
+def vol_wr(tid: int, vol: int, site: int = 0) -> Event:
+    """Thread ``tid`` writes volatile ``vol``."""
+    return Event(VOL_WRITE, tid, vol, site)
+
+
+def sbegin() -> Event:
+    """Global start of a sampling period."""
+    return Event(SBEGIN, -1, 0, 0)
+
+
+def send() -> Event:
+    """Global end of a sampling period."""
+    return Event(SEND, -1, 0, 0)
+
+
+def access_events(events: Iterable[Event]) -> Iterable[Event]:
+    """Filter a trace down to data reads and writes."""
+    return (e for e in events if e.kind in ACCESS_KINDS)

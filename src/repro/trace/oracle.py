@@ -1,0 +1,222 @@
+"""Exact happens-before oracle for traces.
+
+This module is the ground truth against which every detector is tested.
+It performs an offline GENERIC vector-clock pass to attach a clock
+snapshot to every data access, then enumerates:
+
+* **all racing pairs** — conflicting, concurrent accesses;
+* **reportable races** — pairs (a, b) where a is the *last* access racing
+  with b (Definition 5's "shortest" races are exactly these: the race
+  PACER guarantees to report with probability r when a is sampled);
+* race-freedom, for completeness properties.
+
+The oracle is O(accesses² per variable) and meant for tests and
+experiment ground truth, not production analysis — the detectors are the
+production analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.clocks import VectorClock
+from .events import (
+    ACQUIRE,
+    Event,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    VOL_READ,
+    VOL_WRITE,
+    WRITE,
+)
+
+__all__ = ["AccessInfo", "RacePair", "HBOracle"]
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """One data access with its happens-before snapshot."""
+
+    index: int  # position in the trace
+    tid: int
+    kind: str  # rd or wr
+    var: int
+    site: int
+    clock_value: int  # C_t[t] at access time
+    clock: VectorClock  # full snapshot of C_t at access time
+
+    def happens_before(self, other: "AccessInfo") -> bool:
+        """True iff this access happens before ``other`` (HB order)."""
+        if self.index == other.index:
+            return False
+        first, second = (
+            (self, other) if self.index < other.index else (other, self)
+        )
+        if first is not self:
+            return False  # trace order is a prerequisite for HB
+        return self.clock_value <= other.clock.get(self.tid)
+
+    def concurrent_with(self, other: "AccessInfo") -> bool:
+        return not self.happens_before(other) and not other.happens_before(self)
+
+    def conflicts_with(self, other: "AccessInfo") -> bool:
+        """Same variable and at least one write."""
+        return self.var == other.var and (
+            self.kind == WRITE or other.kind == WRITE
+        )
+
+
+@dataclass(frozen=True)
+class RacePair:
+    """A racing access pair; ``first.index < second.index``."""
+
+    first: AccessInfo
+    second: AccessInfo
+
+    @property
+    def distinct_key(self) -> Tuple[int, int]:
+        return (self.first.site, self.second.site)
+
+    @property
+    def kind(self) -> str:
+        return {
+            (WRITE, WRITE): "ww",
+            (WRITE, READ): "wr",
+            (READ, WRITE): "rw",
+        }[(self.first.kind, self.second.kind)]
+
+    def __str__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"race[{self.kind}] var={self.first.var} "
+            f"#{self.first.index}(t{self.first.tid}) vs "
+            f"#{self.second.index}(t{self.second.tid})"
+        )
+
+
+class HBOracle:
+    """Computes exact happens-before facts for one trace."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.accesses: List[AccessInfo] = []
+        self._by_var: Dict[int, List[AccessInfo]] = {}
+        self._compute(list(events))
+
+    # -- construction ---------------------------------------------------------
+
+    def _compute(self, events: List[Event]) -> None:
+        thread_clock: Dict[int, VectorClock] = {}
+        lock_clock: Dict[int, VectorClock] = {}
+        vol_clock: Dict[int, VectorClock] = {}
+
+        def clock_of(tid: int) -> VectorClock:
+            clock = thread_clock.get(tid)
+            if clock is None:
+                clock = VectorClock()
+                clock.increment(tid)
+                thread_clock[tid] = clock
+            return clock
+
+        for index, e in enumerate(events):
+            kind = e.kind
+            if kind == READ or kind == WRITE:
+                clock = clock_of(e.tid)
+                info = AccessInfo(
+                    index=index,
+                    tid=e.tid,
+                    kind=kind,
+                    var=e.target,
+                    site=e.site,
+                    clock_value=clock.get(e.tid),
+                    clock=clock.copy(),
+                )
+                self.accesses.append(info)
+                self._by_var.setdefault(e.target, []).append(info)
+            elif kind == ACQUIRE:
+                source = lock_clock.get(e.target)
+                if source is not None:
+                    clock_of(e.tid).join(source)
+            elif kind == RELEASE:
+                clock = clock_of(e.tid)
+                lock_clock[e.target] = clock.copy()
+                clock.increment(e.tid)
+            elif kind == FORK:
+                clock = clock_of(e.tid)
+                child = clock.copy()
+                child.increment(e.target)
+                thread_clock[e.target] = child
+                clock.increment(e.tid)
+            elif kind == JOIN:
+                child = clock_of(e.target)
+                clock_of(e.tid).join(child)
+                child.increment(e.target)
+            elif kind == VOL_READ:
+                source = vol_clock.get(e.target)
+                if source is not None:
+                    clock_of(e.tid).join(source)
+            elif kind == VOL_WRITE:
+                clock = clock_of(e.tid)
+                target = vol_clock.setdefault(e.target, VectorClock())
+                target.join(clock)
+                clock.increment(e.tid)
+            # sbegin/send/method/alloc events carry no happens-before edges
+
+    # -- queries -----------------------------------------------------------------
+
+    def all_races(self) -> List[RacePair]:
+        """Every conflicting, concurrent access pair, in trace order."""
+        races: List[RacePair] = []
+        for accesses in self._by_var.values():
+            n = len(accesses)
+            for j in range(n):
+                b = accesses[j]
+                for i in range(j):
+                    a = accesses[i]
+                    if a.conflicts_with(b) and not a.happens_before(b):
+                        races.append(RacePair(a, b))
+        races.sort(key=lambda r: (r.second.index, r.first.index))
+        return races
+
+    def reportable_races(self) -> List[RacePair]:
+        """Pairs (a, b) where a is the *last* access racing with b.
+
+        These are the races precise shortest-race detectors (FASTTRACK)
+        report, and the races PACER reports when a is sampled.
+        """
+        races: List[RacePair] = []
+        for accesses in self._by_var.values():
+            n = len(accesses)
+            for j in range(n):
+                b = accesses[j]
+                best: Optional[AccessInfo] = None
+                for i in range(j - 1, -1, -1):
+                    a = accesses[i]
+                    if a.conflicts_with(b) and not a.happens_before(b):
+                        best = a
+                        break
+                if best is not None:
+                    races.append(RacePair(best, b))
+        races.sort(key=lambda r: (r.second.index, r.first.index))
+        return races
+
+    def is_race_free(self) -> bool:
+        """True iff the trace contains no conflicting concurrent pair."""
+        for accesses in self._by_var.values():
+            n = len(accesses)
+            for j in range(n):
+                b = accesses[j]
+                for i in range(j):
+                    a = accesses[i]
+                    if a.conflicts_with(b) and not a.happens_before(b):
+                        return False
+        return True
+
+    def racy_variables(self) -> Set[int]:
+        """Variables participating in at least one race."""
+        return {r.first.var for r in self.all_races()}
+
+    def distinct_races(self) -> Set[Tuple[int, int]]:
+        """Static site-pair identities of all races."""
+        return {r.distinct_key for r in self.all_races()}

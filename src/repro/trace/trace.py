@@ -1,0 +1,191 @@
+"""Trace containers and well-formedness validation (Appendix A).
+
+The paper restricts attention to *feasible* traces obeying traditional
+synchronization semantics; :meth:`Trace.validate` enforces those rules:
+
+* a thread never acquires a lock held (unreleased) by another thread;
+* a thread never releases a lock it does not hold (monitors are
+  reentrant, as in Java);
+* a forked thread performs no actions before its ``fork`` and none after
+  being ``join``\\ ed; threads are forked and joined at most once;
+* ``sbegin``/``send`` alternate (no nested sampling periods).
+
+Root threads (those never forked, e.g. the main thread) may act from the
+start of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from .events import (
+    ACCESS_KINDS,
+    ACQUIRE,
+    Event,
+    FORK,
+    JOIN,
+    KINDS,
+    READ,
+    RELEASE,
+    SBEGIN,
+    SEND,
+    SYNC_KINDS,
+    VOL_READ,
+    VOL_WRITE,
+    WRITE,
+)
+
+__all__ = ["Trace", "TraceError"]
+
+
+class TraceError(ValueError):
+    """A trace violates the feasibility rules of Appendix A."""
+
+    def __init__(self, index: int, event: Optional[Event], message: str) -> None:
+        self.index = index
+        self.event = event
+        super().__init__(f"event {index} ({event}): {message}")
+
+
+@dataclass
+class Trace:
+    """An immutable-by-convention sequence of events with helpers.
+
+    Construct from any iterable of :class:`Event`; ``validate=True``
+    (default) checks feasibility eagerly.
+    """
+
+    events: List[Event] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = list(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __getitem__(self, idx):
+        return self.events[idx]
+
+    # -- summary properties -------------------------------------------------
+
+    @property
+    def threads(self) -> Set[int]:
+        """All thread ids that act or are forked/joined."""
+        tids: Set[int] = set()
+        for e in self.events:
+            if e.tid >= 0:
+                tids.add(e.tid)
+            if e.kind in (FORK, JOIN):
+                tids.add(e.target)
+        return tids
+
+    @property
+    def variables(self) -> Set[int]:
+        return {e.target for e in self.events if e.kind in ACCESS_KINDS}
+
+    @property
+    def locks(self) -> Set[int]:
+        return {e.target for e in self.events if e.kind in (ACQUIRE, RELEASE)}
+
+    @property
+    def volatiles(self) -> Set[int]:
+        return {e.target for e in self.events if e.kind in (VOL_READ, VOL_WRITE)}
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def n_sync_ops(self) -> int:
+        return sum(1 for e in self.events if e.kind in SYNC_KINDS)
+
+    @property
+    def n_accesses(self) -> int:
+        return sum(1 for e in self.events if e.kind in ACCESS_KINDS)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> "Trace":
+        """Check Appendix A feasibility; raises :class:`TraceError`.
+
+        Returns ``self`` so construction can be chained.
+        """
+        lock_holder: Dict[int, int] = {}
+        lock_depth: Dict[int, int] = {}
+        forked: Set[int] = set()
+        joined: Set[int] = set()
+        acted: Set[int] = set()
+        sampling = False
+        for i, e in enumerate(self.events):
+            if e.kind not in KINDS:
+                raise TraceError(i, e, f"unknown kind {e.kind!r}")
+            if e.kind == SBEGIN:
+                if sampling:
+                    raise TraceError(i, e, "sbegin inside a sampling period")
+                sampling = True
+                continue
+            if e.kind == SEND:
+                if not sampling:
+                    raise TraceError(i, e, "send outside a sampling period")
+                sampling = False
+                continue
+            if e.tid < 0:
+                raise TraceError(i, e, "thread actions need a valid tid")
+            if e.tid in joined:
+                raise TraceError(i, e, f"thread {e.tid} acts after being joined")
+            acted.add(e.tid)
+            if e.kind == ACQUIRE:
+                holder = lock_holder.get(e.target)
+                if holder is not None and holder != e.tid:
+                    raise TraceError(
+                        i, e, f"lock {e.target} already held by thread {holder}"
+                    )
+                lock_holder[e.target] = e.tid
+                lock_depth[e.target] = lock_depth.get(e.target, 0) + 1
+            elif e.kind == RELEASE:
+                if lock_holder.get(e.target) != e.tid:
+                    raise TraceError(
+                        i, e, f"thread {e.tid} releases lock {e.target} it does not hold"
+                    )
+                lock_depth[e.target] -= 1
+                if lock_depth[e.target] == 0:
+                    del lock_holder[e.target]
+                    del lock_depth[e.target]
+            elif e.kind == FORK:
+                if e.target == e.tid:
+                    raise TraceError(i, e, "thread forks itself")
+                if e.target in forked:
+                    raise TraceError(i, e, f"thread {e.target} forked twice")
+                if e.target in acted:
+                    raise TraceError(
+                        i, e, f"thread {e.target} acted before being forked"
+                    )
+                forked.add(e.target)
+            elif e.kind == JOIN:
+                if e.target == e.tid:
+                    raise TraceError(i, e, "thread joins itself")
+                if e.target in joined:
+                    raise TraceError(i, e, f"thread {e.target} joined twice")
+                joined.add(e.target)
+        return self
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def of(cls, *events: Event, validate: bool = True) -> "Trace":
+        """Build a trace from event arguments; validates by default."""
+        trace = cls(list(events))
+        if validate:
+            trace.validate()
+        return trace
+
+    @classmethod
+    def from_iterable(cls, events: Iterable[Event], validate: bool = True) -> "Trace":
+        trace = cls(list(events))
+        if validate:
+            trace.validate()
+        return trace

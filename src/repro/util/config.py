@@ -1,0 +1,41 @@
+"""Experiment scaling knobs.
+
+The paper's experiments run 50-500 trials of programs that execute
+billions of operations.  The default configuration here is sized so the
+whole benchmark suite finishes in minutes; set the ``REPRO_SCALE``
+environment variable above 1.0 to move toward paper-scale statistics
+(more trials, longer runs) or below 1.0 for a quick smoke pass.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+__all__ = ["scale", "scaled_trials", "num_trials_for_rate"]
+
+
+def scale() -> float:
+    """The global experiment scale factor (env ``REPRO_SCALE``, default 1)."""
+    try:
+        value = float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+    return max(value, 0.01)
+
+
+def scaled_trials(base: int, minimum: int = 2) -> int:
+    """Scale a trial count by ``REPRO_SCALE`` with a sane floor."""
+    return max(minimum, int(round(base * scale())))
+
+
+def num_trials_for_rate(rate: float, base: int = 50, cap: int = 500) -> int:
+    """The paper's trial-count formula (§5.1), scaled.
+
+    numTrials_r = min(max(ceil(1000% / r), 50), 500); e.g. 500 trials at
+    r=1%, 334 at 3%, 50 at 100%.  ``REPRO_SCALE`` multiplies the result.
+    """
+    if rate <= 0:
+        raise ValueError("sampling rate must be positive")
+    raw = min(max(math.ceil(10.0 / rate), base), cap)
+    return max(2, int(round(raw * scale())))

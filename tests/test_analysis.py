@@ -1,0 +1,151 @@
+"""The analysis layer: trial driver, detection experiment, tables."""
+
+import pytest
+
+from repro import FastTrackDetector, PacerDetector
+from repro.analysis import (
+    DetectionExperiment,
+    race_id_of,
+    render_series,
+    render_table,
+    run_trial,
+)
+from repro.analysis.tables import fmt, mean, stdev
+from repro.core.sampling import ScriptedController
+from repro.detectors.base import Race
+from repro.sim.runtime import RuntimeConfig
+from repro.sim.workloads import PSEUDOJBB
+from repro.util.config import num_trials_for_rate, scaled_trials
+
+
+def make_race(var, first_site=1, second_site=2):
+    return Race(var, "ww", 0, 1, first_site, 1, second_site)
+
+
+class TestRaceIds:
+    def test_injected_race_mapped(self):
+        assert race_id_of(make_race(5_000)) == 0
+        assert race_id_of(make_race(5_042)) == 42
+
+    def test_background_var_unmapped(self):
+        assert race_id_of(make_race(17)) is None
+
+
+class TestTrialsFormula:
+    def test_paper_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert num_trials_for_rate(0.01) == 500
+        assert num_trials_for_rate(0.03) == 334
+        assert num_trials_for_rate(1.0) == 50
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        assert num_trials_for_rate(1.0) == 5
+        assert scaled_trials(50) == 5
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            num_trials_for_rate(0)
+
+
+class TestRunTrial:
+    def test_full_sampling_finds_frequent_races(self):
+        result = run_trial(
+            PSEUDOJBB,
+            FastTrackDetector(),
+            trial_seed=0,
+            config=RuntimeConfig(track_memory=False),
+        )
+        assert len(result.detected_ids) >= 8
+        assert result.threads_started == PSEUDOJBB.threads_total
+
+    def test_pacer_zero_rate_finds_nothing(self):
+        result = run_trial(
+            PSEUDOJBB,
+            PacerDetector(),
+            trial_seed=0,
+            config=RuntimeConfig(track_memory=False),
+        )
+        assert result.dynamic_counts == {}
+        assert result.effective_rate == 0.0
+
+    def test_pacer_full_rate_matches_fasttrack(self):
+        ft = run_trial(
+            PSEUDOJBB, FastTrackDetector(), 3, config=RuntimeConfig(track_memory=False)
+        )
+        pacer = run_trial(
+            PSEUDOJBB,
+            PacerDetector(),
+            3,
+            controller=ScriptedController([True] * 100_000),
+            config=RuntimeConfig(track_memory=False),
+        )
+        assert pacer.detected_ids == ft.detected_ids
+        assert pacer.effective_rate == 1.0
+
+
+class TestDetectionExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        exp = DetectionExperiment(
+            PSEUDOJBB.scaled(0.6),
+            full_trials=6,
+            config=RuntimeConfig(track_memory=False),
+        )
+        exp.run_baseline()
+        return exp
+
+    def test_baseline_selects_frequent_races(self, experiment):
+        assert len(experiment.evaluation_races) >= 8
+        assert all(
+            experiment.baseline_distinct[rid] >= 0.5
+            for rid in experiment.evaluation_races
+        )
+
+    def test_occurrence_counts(self, experiment):
+        counts = experiment.occurrence_counts()
+        assert max(counts.values()) <= experiment.full_trials
+
+    def test_rate_accuracy_roughly_proportional(self, experiment):
+        acc = experiment.run_rate(0.25, trials=16)
+        dyn = acc.dynamic_detection_rate(experiment.baseline_dynamic)
+        assert 0.03 < dyn < 0.7  # proportional-ish at 25%
+        assert acc.trials == 16
+
+    def test_run_rate_requires_baseline(self):
+        exp = DetectionExperiment(PSEUDOJBB, full_trials=2)
+        with pytest.raises(RuntimeError):
+            exp.run_rate(0.5, trials=1)
+
+    def test_per_race_rates_vector(self, experiment):
+        acc = experiment.run_rate(1.0, trials=3)
+        rates = acc.per_race_rates(experiment.evaluation_races)
+        assert len(rates) == len(experiment.evaluation_races)
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bee"], [[1, 2.5], [10, None]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "bee" in lines[1]
+        assert "-" in lines[2]
+        assert lines[3].strip().startswith("1")
+        assert "-" in lines[4]  # None rendered as '-'
+
+    def test_render_series(self):
+        out = render_series("s", [1, 2], [0.5, 0.25])
+        assert "s" in out and "->" in out
+
+    def test_fmt(self):
+        assert fmt(None) == "-"
+        assert fmt(1.234, 1) == "1.2"
+        assert fmt("x") == "x"
+
+    def test_mean_stdev(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+        assert stdev([2, 2, 2]) == 0.0
+        assert stdev([5]) == 0.0
+        assert stdev([0, 2]) == 1.0

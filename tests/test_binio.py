@@ -1,0 +1,103 @@
+"""Binary trace format: round trips, compactness, corruption handling."""
+
+import pytest
+
+from repro.trace.binio import (
+    dump_trace_binary,
+    dumps_binary,
+    load_trace_binary,
+    loads_binary,
+)
+from repro.trace.events import Event, rd, sbegin, send, wr
+from repro.trace.generator import random_trace
+from repro.trace.textio import dumps_trace
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        events = [wr(0, 5, 9), sbegin(), rd(1, 5), send()]
+        assert loads_binary(dumps_binary(events), validate=False).events == events
+
+    def test_random_traces(self):
+        for seed in range(6):
+            trace = random_trace(seed=seed, length=300, sampling_period_prob=0.05)
+            again = loads_binary(dumps_binary(trace.events))
+            assert again.events == trace.events
+
+    def test_negative_site_zigzag(self):
+        events = [Event("alloc", 0, 64, -7)]
+        assert loads_binary(dumps_binary(events), validate=False).events == events
+
+    def test_large_ids(self):
+        events = [wr(12345, 10**9, 2**40)]
+        assert loads_binary(dumps_binary(events), validate=False).events == events
+
+    def test_empty_trace(self):
+        assert loads_binary(dumps_binary([]), validate=False).events == []
+
+    def test_file_round_trip(self, tmp_path):
+        trace = random_trace(seed=2, length=150)
+        path = tmp_path / "t.pacr"
+        dump_trace_binary(trace, path)
+        assert load_trace_binary(path).events == trace.events
+
+    def test_smaller_than_text(self):
+        trace = random_trace(seed=4, length=2000)
+        assert len(dumps_binary(trace.events)) < 0.6 * len(
+            dumps_trace(trace.events).encode()
+        )
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            loads_binary(b"NOPE" + b"\x01\x00")
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError, match="version"):
+            loads_binary(b"PACR\x63\x00")
+
+    def test_truncated(self):
+        data = dumps_binary([wr(0, 5, 9), rd(1, 5, 3)])
+        with pytest.raises(ValueError, match="truncated"):
+            loads_binary(data[:-2])
+
+    def test_trailing_garbage(self):
+        data = dumps_binary([wr(0, 5, 9)])
+        with pytest.raises(ValueError, match="trailing"):
+            loads_binary(data + b"\x00\x00")
+
+    def test_unknown_kind_rejected_on_write(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            dumps_binary([Event("zap", 0, 0, 0)])
+
+
+class TestPropertyRoundTrip:
+    def test_arbitrary_events_round_trip(self):
+        from hypothesis import given, settings, strategies as st
+
+        from repro.trace.binio import _KIND_TO_ID
+
+        kinds = sorted(set(_KIND_TO_ID) - {"sbegin", "send"})
+
+        @settings(max_examples=150, deadline=None)
+        @given(
+            st.lists(
+                st.one_of(
+                    st.builds(
+                        Event,
+                        st.sampled_from(kinds),
+                        st.integers(0, 10_000),
+                        st.integers(0, 2**32),
+                        st.integers(-(2**20), 2**20),
+                    ),
+                    st.just(sbegin()),
+                    st.just(send()),
+                ),
+                max_size=40,
+            )
+        )
+        def round_trips(events):
+            assert loads_binary(dumps_binary(events), validate=False).events == events
+
+        round_trips()

@@ -1,0 +1,90 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import DETECTORS, main
+from repro.trace.binio import load_trace_binary
+from repro.trace.textio import dump_trace, load_trace
+from repro.trace.events import fork, wr
+
+
+class TestWorkloadsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("eclipse", "hsqldb", "xalan", "pseudojbb"):
+            assert name in out
+
+
+class TestRecordAnalyze:
+    def test_record_then_analyze(self, tmp_path, capsys):
+        path = tmp_path / "trace.txt"
+        assert main(["record", "pseudojbb", str(path), "--scale", "0.15"]) == 0
+        assert path.exists()
+        assert main(["analyze", str(path), "--detector", "fasttrack"]) == 0
+        out = capsys.readouterr().out
+        assert "race reports" in out
+
+    def test_record_binary(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        assert main(
+            ["record", "xalan", str(path), "--scale", "0.1", "--format", "binary"]
+        ) == 0
+        assert load_trace_binary(path).n_accesses > 0
+
+    def test_analyze_autodetects_binary(self, tmp_path, capsys):
+        path = tmp_path / "t.pacr"
+        main(["record", "pseudojbb", str(path), "--scale", "0.15", "--format", "binary"])
+        assert main(["analyze", str(path)]) == 0
+
+    def test_fail_on_race_exit_code(self, tmp_path):
+        path = tmp_path / "racy.txt"
+        dump_trace([fork(0, 1), wr(0, 1, 1), wr(1, 1, 2)], path)
+        assert main(["analyze", str(path), "--fail-on-race"]) == 1
+        assert main(["analyze", str(path)]) == 0
+
+    @pytest.mark.parametrize("detector", sorted(DETECTORS))
+    def test_every_detector_runs(self, detector, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace([fork(0, 1), wr(0, 1, 1), wr(1, 1, 2)], path)
+        assert main(["analyze", str(path), "--detector", detector]) == 0
+
+
+class TestOracle:
+    def test_oracle_summary(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace([fork(0, 1), wr(0, 1, 1), wr(1, 1, 2)], path)
+        assert main(["oracle", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 racing pairs" in out
+
+
+class TestDetect:
+    def test_pacer_with_rate(self, capsys):
+        assert main(
+            ["detect", "pseudojbb", "--rate", "50", "--scale", "0.15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "effective sampling rate" in out
+
+    def test_rate_rejected_for_other_detectors(self, capsys):
+        assert main(
+            ["detect", "pseudojbb", "--detector", "fasttrack", "--rate", "5"]
+        ) == 2
+
+    def test_fasttrack_detect(self, capsys):
+        assert main(
+            ["detect", "pseudojbb", "--detector", "fasttrack", "--scale", "0.15"]
+        ) == 0
+        assert "race reports" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_text_to_binary_and_back(self, tmp_path, capsys):
+        text = tmp_path / "t.txt"
+        dump_trace([fork(0, 1), wr(0, 1, 1)], text)
+        binary = tmp_path / "t.bin"
+        assert main(["convert", str(text), str(binary), "--format", "binary"]) == 0
+        back = tmp_path / "back.txt"
+        assert main(["convert", str(binary), str(back), "--format", "text"]) == 0
+        assert load_trace(back).events == load_trace(text).events

@@ -1,0 +1,130 @@
+"""Unit tests for read maps (epoch/shared representations)."""
+
+import pytest
+
+from repro.core.clocks import Epoch, ReadMap, VectorClock
+
+
+class TestReadMapEpochMode:
+    def test_starts_as_epoch(self):
+        r = ReadMap(2, 5, site=9)
+        assert r.is_epoch
+        assert len(r) == 1
+        assert r.epoch == Epoch(5, 2)
+        assert r.site == 9
+
+    def test_get(self):
+        r = ReadMap(2, 5)
+        assert r.get(2) == 5
+        assert r.get(3) == 0
+
+    def test_entries(self):
+        r = ReadMap(2, 5, site=9, index=42)
+        assert list(r.entries()) == [(2, 5, 9, 42)]
+
+    def test_set_epoch_overwrites(self):
+        r = ReadMap(2, 5)
+        r.set_epoch(3, 7, site=1, index=10)
+        assert r.is_epoch
+        assert r.epoch == Epoch(7, 3)
+        assert r.get(2) == 0
+
+    def test_record_same_thread_stays_epoch(self):
+        r = ReadMap(2, 5)
+        r.record(2, 6, site=4)
+        assert r.is_epoch
+        assert r.epoch == Epoch(6, 2)
+
+
+class TestReadMapSharedMode:
+    def test_record_other_thread_inflates(self):
+        r = ReadMap(2, 5, site=9)
+        r.record(3, 7, site=8)
+        assert not r.is_epoch
+        assert len(r) == 2
+        assert r.get(2) == 5
+        assert r.get(3) == 7
+
+    def test_epoch_accessors_raise_when_shared(self):
+        r = ReadMap(2, 5)
+        r.record(3, 7)
+        with pytest.raises(ValueError):
+            _ = r.epoch
+        with pytest.raises(ValueError):
+            _ = r.site
+
+    def test_record_updates_existing_entry(self):
+        r = ReadMap(2, 5)
+        r.record(3, 7)
+        r.record(3, 9)
+        assert r.get(3) == 9
+        assert len(r) == 2
+
+    def test_discard_epoch_owner(self):
+        r = ReadMap(2, 5)
+        assert r.discard(2) is True
+
+    def test_discard_epoch_non_owner(self):
+        r = ReadMap(2, 5)
+        assert r.discard(3) is False
+        assert r.get(2) == 5
+
+    def test_discard_from_map(self):
+        r = ReadMap(2, 5)
+        r.record(3, 7)
+        assert r.discard(2) is False
+        assert r.get(3) == 7
+        assert r.get(2) == 0
+
+    def test_discard_does_not_deflate_to_epoch(self):
+        # A deflated map would later be treated as an "exclusive" epoch
+        # and discarded wholesale by PACER's Rule 2, losing a sampled read.
+        r = ReadMap(2, 5)
+        r.record(3, 7)
+        r.discard(2)
+        assert not r.is_epoch
+        assert len(r) == 1
+
+    def test_discard_until_empty(self):
+        r = ReadMap(2, 5)
+        r.record(3, 7)
+        assert r.discard(2) is False
+        assert r.discard(3) is True
+
+    def test_discard_absent_from_map(self):
+        r = ReadMap(2, 5)
+        r.record(3, 7)
+        assert r.discard(9) is False
+        assert len(r) == 2
+
+
+class TestReadMapComparisons:
+    def test_leq_vc_epoch(self):
+        r = ReadMap(1, 3)
+        assert r.leq_vc(VectorClock([0, 3]))
+        assert not r.leq_vc(VectorClock([0, 2]))
+
+    def test_leq_vc_map(self):
+        r = ReadMap(0, 2)
+        r.record(1, 4)
+        assert r.leq_vc(VectorClock([2, 4]))
+        assert not r.leq_vc(VectorClock([2, 3]))
+        assert not r.leq_vc(VectorClock([1, 4]))
+
+    def test_racing_entries_epoch(self):
+        r = ReadMap(1, 3, site=7, index=20)
+        assert r.racing_entries(VectorClock([0, 2])) == [(1, 3, 7, 20)]
+        assert r.racing_entries(VectorClock([0, 3])) == []
+
+    def test_racing_entries_map(self):
+        r = ReadMap(0, 2, site=5)
+        r.record(1, 4, site=6)
+        racing = r.racing_entries(VectorClock([2, 3]))
+        assert [(t, c, s) for t, c, s, _ in racing] == [(1, 4, 6)]
+
+    def test_words_grows_with_entries(self):
+        r = ReadMap(0, 1)
+        epoch_words = r.words()
+        r.record(1, 1)
+        r.record(2, 1)
+        assert r.words() > epoch_words

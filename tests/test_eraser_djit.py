@@ -1,0 +1,138 @@
+"""The Eraser lockset and Djit+ baselines (paper §6.2)."""
+
+from repro.detectors import (
+    DjitPlusDetector,
+    EraserDetector,
+    GenericDetector,
+    NullDetector,
+)
+from repro.trace.events import acq, fork, join, rd, rel, vol_rd, vol_wr, wr
+from repro.trace.generator import random_trace
+
+X, Y = 1, 2
+L, L2 = 100, 101
+V = 200
+
+
+class TestEraser:
+    def test_catches_unprotected_sharing(self):
+        d = EraserDetector()
+        d.run([fork(0, 1), wr(0, X, site=1), wr(1, X, site=2)])
+        assert len(d.races) == 1
+
+    def test_consistent_lock_clean(self):
+        d = EraserDetector()
+        d.run(
+            [
+                fork(0, 1),
+                acq(0, L), wr(0, X), rel(0, L),
+                acq(1, L), wr(1, X), rel(1, L),
+            ]
+        )
+        assert d.races == []
+
+    def test_lockset_intersection(self):
+        # first sharing under {L, L2}, later only under L: still protected
+        d = EraserDetector()
+        d.run(
+            [
+                fork(0, 1),
+                acq(0, L), acq(0, L2), wr(0, X), rel(0, L2), rel(0, L),
+                acq(1, L), wr(1, X), rel(1, L),
+            ]
+        )
+        assert d.races == []
+
+    def test_exclusive_phase_unreported(self):
+        d = EraserDetector()
+        d.run([wr(0, X), wr(0, X), rd(0, X)])
+        assert d.races == []
+
+    def test_read_shared_not_reported_until_write(self):
+        d = EraserDetector()
+        d.run([fork(0, 1), wr(0, X), rd(1, X)])
+        # SHARED (read-shared) state: Eraser stays quiet until a write
+        assert d.races == []
+        d.apply(wr(1, X))
+        assert len(d.races) == 1
+
+    def test_false_positive_on_fork_join(self):
+        """The imprecision that motivates happens-before detection."""
+        trace = [wr(0, X), fork(0, 1), wr(1, X), join(0, 1), wr(0, X)]
+        eraser = EraserDetector()
+        eraser.run(trace)
+        generic = GenericDetector()
+        generic.run(trace)
+        assert generic.races == []  # truly race-free
+        assert len(eraser.races) == 1  # Eraser false positive
+
+    def test_false_positive_on_volatile_protocol(self):
+        trace = [
+            fork(0, 1),
+            wr(0, X), vol_wr(0, V),
+            vol_rd(1, V), wr(1, X),
+        ]
+        eraser = EraserDetector()
+        eraser.run(trace)
+        generic = GenericDetector()
+        generic.run(trace)
+        assert generic.races == []
+        assert len(eraser.races) == 1
+
+    def test_reports_each_variable_once(self):
+        d = EraserDetector()
+        events = [fork(0, 1)]
+        for _ in range(5):
+            events += [wr(0, X), wr(1, X)]
+        d.run(events)
+        assert len(d.races) == 1
+
+    def test_footprint(self):
+        d = EraserDetector()
+        d.run([fork(0, 1), acq(0, L), wr(0, X), rel(0, L), wr(1, Y)])
+        assert d.footprint_words() > 0
+
+
+class TestDjitPlus:
+    def test_same_racy_variables_as_generic(self):
+        for seed in range(20):
+            trace = random_trace(seed=seed, length=400)
+            g = GenericDetector()
+            g.run(trace)
+            d = DjitPlusDetector()
+            d.run(trace)
+            assert {r.var for r in g.races} == {r.var for r in d.races}
+
+    def test_skips_same_time_frame_repeats(self):
+        d = DjitPlusDetector()
+        d.run([rd(0, X), rd(0, X), rd(0, X)])
+        assert d.counters.reads_fast_sampling == 2
+        assert d.counters.reads_slow_sampling == 1
+
+    def test_write_not_skipped_after_read(self):
+        d = DjitPlusDetector()
+        d.run([rd(0, X), wr(0, X)])
+        assert d.counters.writes_fast_sampling == 0
+
+    def test_read_skipped_after_write(self):
+        d = DjitPlusDetector()
+        d.run([wr(0, X), rd(0, X)])
+        assert d.counters.reads_fast_sampling == 1
+
+    def test_new_time_frame_reanalyzed(self):
+        d = DjitPlusDetector()
+        d.run([rd(0, X), acq(0, L), rel(0, L), rd(0, X)])
+        assert d.counters.reads_slow_sampling == 2
+
+    def test_never_misses_cross_frame_race(self):
+        d = DjitPlusDetector()
+        d.run([fork(0, 1), rd(0, X), rd(0, X), wr(1, X)])
+        assert len(d.races) == 1
+
+
+class TestNullDetector:
+    def test_ignores_everything(self):
+        d = NullDetector()
+        d.run(random_trace(seed=0, length=200))
+        assert d.races == []
+        assert d.footprint_words() == 0

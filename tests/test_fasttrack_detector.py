@@ -1,0 +1,152 @@
+"""Unit tests for FASTTRACK (Algorithms 7 and 8) and its metadata moves."""
+
+from repro.core.clocks import Epoch
+from repro.detectors import FastTrackDetector, GenericDetector
+from repro.trace.events import acq, fork, join, rd, rel, vol_rd, vol_wr, wr
+from repro.trace.generator import random_trace
+
+X, Y = 1, 2
+L, L2 = 100, 101
+V = 200
+
+
+def run(events):
+    d = FastTrackDetector()
+    d.run(events)
+    return d
+
+
+class TestRaceDetection:
+    def test_ww_race(self):
+        d = run([fork(0, 1), wr(0, X, site=1), wr(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["ww"]
+
+    def test_wr_race(self):
+        d = run([fork(0, 1), wr(0, X, site=1), rd(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["wr"]
+
+    def test_rw_race(self):
+        d = run([fork(0, 1), rd(0, X, site=1), wr(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["rw"]
+
+    def test_lock_discipline_race_free(self):
+        d = run(
+            [
+                fork(0, 1),
+                acq(0, L), rd(0, X), wr(0, X), rel(0, L),
+                acq(1, L), rd(1, X), wr(1, X), rel(1, L),
+            ]
+        )
+        assert d.races == []
+
+    def test_fork_join_race_free(self):
+        d = run([wr(0, X), fork(0, 1), wr(1, X), join(0, 1), wr(0, X)])
+        assert d.races == []
+
+    def test_volatile_ordering(self):
+        d = run(
+            [fork(0, 1), wr(0, X), vol_wr(0, V), vol_rd(1, V), wr(1, X)]
+        )
+        assert d.races == []
+
+    def test_shortest_race_only(self):
+        # w0 races w1; w1 races r1... FASTTRACK reports only the race with
+        # the *last* conflicting access recorded in metadata.
+        d = run(
+            [
+                fork(0, 1),
+                wr(0, X, site=1),
+                wr(1, X, site=2),  # races site 1
+                acq(1, L), rel(1, L),
+                acq(0, L), rd(0, X, site=3),  # ordered after site 2 via L
+            ]
+        )
+        assert [(r.first_site, r.second_site) for r in d.races] == [(1, 2)]
+
+    def test_write_read_same_thread_no_race(self):
+        d = run([wr(0, X), rd(0, X), wr(0, X)])
+        assert d.races == []
+
+
+class TestEpochTransitions:
+    def test_read_same_epoch_is_noop(self):
+        d = FastTrackDetector()
+        d.run([rd(0, X, site=1)])
+        state = d._vars[X]
+        before = list(state.read.entries())
+        d.apply(rd(0, X, site=9))  # same epoch: no update at all
+        assert list(state.read.entries()) == before
+
+    def test_read_map_inflates_for_concurrent_reads(self):
+        d = FastTrackDetector()
+        d.run([fork(0, 1), rd(0, X), rd(1, X)])
+        assert not d._vars[X].read.is_epoch
+        assert len(d._vars[X].read) == 2
+
+    def test_ordered_reads_stay_epoch(self):
+        d = FastTrackDetector()
+        d.run(
+            [
+                fork(0, 1),
+                rd(0, X),
+                acq(0, L), rel(0, L),
+                acq(1, L), rd(1, X),
+            ]
+        )
+        assert d._vars[X].read.is_epoch
+        assert d._vars[X].read.epoch.tid == 1
+
+    def test_write_clears_read_map(self):
+        # the paper's modified FASTTRACK clears R at writes
+        d = FastTrackDetector()
+        d.run([fork(0, 1), rd(0, X), rd(1, X), wr(0, X)])
+        assert d._vars[X].read is None
+
+    def test_write_epoch_recorded(self):
+        d = FastTrackDetector()
+        d.run([wr(0, X)])
+        assert d._vars[X].write == Epoch(1, 0)
+
+    def test_same_epoch_write_is_noop(self):
+        d = FastTrackDetector()
+        d.run([wr(0, X, site=1), rd(0, Y), wr(0, X, site=2)])
+        assert d._vars[X].write_site == 1  # second write skipped
+
+    def test_release_advances_epoch(self):
+        d = FastTrackDetector()
+        d.run([wr(0, X, site=1), acq(0, L), rel(0, L), wr(0, X, site=2)])
+        assert d._vars[X].write_site == 2
+        assert d._vars[X].write == Epoch(2, 0)
+
+
+class TestEquivalenceWithGeneric:
+    def test_same_distinct_races_on_random_traces(self):
+        for seed in range(25):
+            trace = random_trace(seed=seed, length=300)
+            ft = FastTrackDetector()
+            ft.run(trace)
+            g = GenericDetector()
+            g.run(trace)
+            # FASTTRACK reports a subset of GENERIC's distinct races
+            # (shortest only), and both flag the same racy variables.
+            assert {r.var for r in ft.races} == {r.var for r in g.races}
+            assert ft.distinct_races <= g.distinct_races
+
+    def test_race_free_traces_equivalent(self):
+        from repro.trace.generator import race_free_trace
+
+        for seed in range(10):
+            trace = race_free_trace(seed=seed, length=200)
+            ft = FastTrackDetector()
+            assert ft.run(trace) == []
+
+
+class TestAccounting:
+    def test_footprint_counts_metadata(self):
+        d = run([fork(0, 1), rd(0, X), rd(1, X), wr(0, Y), acq(0, L), rel(0, L)])
+        assert d.footprint_words() > 0
+
+    def test_epoch_cheaper_than_read_map(self):
+        epoch_d = run([rd(0, X)])
+        map_d = run([fork(0, 1), fork(0, 2), rd(0, X), rd(1, X), rd(2, X)])
+        assert map_d._vars[X].read.words() > epoch_d._vars[X].read.words()

@@ -1,0 +1,70 @@
+"""Random trace generators: feasibility, determinism, and knobs."""
+
+import pytest
+
+from repro.trace.generator import GeneratorConfig, race_free_trace, random_trace
+from repro.trace.oracle import HBOracle
+
+
+class TestRandomTrace:
+    def test_deterministic_per_seed(self):
+        assert random_trace(seed=7).events == random_trace(seed=7).events
+
+    def test_different_seeds_differ(self):
+        assert random_trace(seed=1).events != random_trace(seed=2).events
+
+    def test_always_feasible(self):
+        for seed in range(10):
+            random_trace(seed=seed, length=300).validate()
+
+    def test_thread_count_honored(self):
+        trace = random_trace(seed=0, n_threads=6)
+        assert len(trace.threads) == 6
+
+    def test_sampling_periods_inserted(self):
+        trace = random_trace(seed=0, length=400, sampling_period_prob=0.1)
+        assert trace.count("sbegin") > 0
+        assert trace.count("sbegin") == trace.count("send")
+
+    def test_no_sampling_periods_by_default(self):
+        assert random_trace(seed=0).count("sbegin") == 0
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError):
+            random_trace(seed=0, bogus_option=3)
+
+    def test_config_object_accepted(self):
+        cfg = GeneratorConfig(n_threads=3, length=50, seed=5)
+        trace = random_trace(cfg)
+        assert len(trace.threads) == 3
+
+    def test_unprotected_traces_usually_racy(self):
+        racy = sum(
+            not HBOracle(
+                random_trace(seed=s, protected_fraction=0.0, length=200)
+            ).is_race_free()
+            for s in range(10)
+        )
+        assert racy >= 8
+
+    def test_volatile_fraction_knob(self):
+        trace = random_trace(seed=0, length=300, sync_fraction=0.5)
+        assert trace.count("vol_rd") + trace.count("vol_wr") > 50
+
+
+class TestRaceFreeTrace:
+    def test_race_free_by_construction(self):
+        for seed in range(10):
+            assert HBOracle(race_free_trace(seed=seed, length=250)).is_race_free()
+
+    def test_feasible(self):
+        for seed in range(5):
+            race_free_trace(seed=seed).validate()
+
+    def test_deterministic(self):
+        assert race_free_trace(seed=4).events == race_free_trace(seed=4).events
+
+    def test_with_sampling_periods_still_race_free(self):
+        trace = race_free_trace(seed=1, length=300, sampling_period_prob=0.1)
+        assert trace.count("sbegin") > 0
+        assert HBOracle(trace).is_race_free()

@@ -1,0 +1,159 @@
+"""Unit tests for the GENERIC O(n) vector-clock detector."""
+
+import pytest
+
+from repro.detectors import GenericDetector
+from repro.trace.events import acq, fork, join, rd, rel, vol_rd, vol_wr, wr
+
+X, Y = 1, 2
+L, L2 = 100, 101
+V = 200
+
+
+def run(events):
+    d = GenericDetector()
+    d.run(events)
+    return d
+
+
+class TestRaces:
+    def test_ww_race_between_unordered_threads(self):
+        d = run([fork(0, 1), wr(0, X, site=1), wr(1, X, site=2)])
+        # fork orders t0's earlier ops before t1, but t0's write comes
+        # after the fork, so it races with t1's write... trace order:
+        # fork first, then both writes are concurrent.
+        assert len(d.races) == 1
+        race = d.races[0]
+        assert race.kind == "ww"
+        assert (race.first_site, race.second_site) == (1, 2)
+
+    def test_fork_orders_parent_prefix(self):
+        d = run([wr(0, X, site=1), fork(0, 1), wr(1, X, site=2)])
+        assert d.races == []
+
+    def test_join_orders_child_suffix(self):
+        d = run([fork(0, 1), wr(1, X, site=1), join(0, 1), wr(0, X, site=2)])
+        assert d.races == []
+
+    def test_wr_race(self):
+        d = run([fork(0, 1), wr(0, X, site=1), rd(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["wr"]
+
+    def test_rw_race(self):
+        d = run([fork(0, 1), rd(0, X, site=1), wr(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["rw"]
+
+    def test_reads_never_race(self):
+        d = run([fork(0, 1), rd(0, X), rd(1, X), rd(0, X)])
+        assert d.races == []
+
+    def test_lock_orders_accesses(self):
+        d = run(
+            [
+                fork(0, 1),
+                acq(0, L), wr(0, X, site=1), rel(0, L),
+                acq(1, L), wr(1, X, site=2), rel(1, L),
+            ]
+        )
+        assert d.races == []
+
+    def test_different_locks_do_not_order(self):
+        d = run(
+            [
+                fork(0, 1),
+                acq(0, L), wr(0, X, site=1), rel(0, L),
+                acq(1, L2), wr(1, X, site=2), rel(1, L2),
+            ]
+        )
+        assert len(d.races) == 1
+
+    def test_transitive_happens_before(self):
+        # t0 -> (lock L) -> t1 -> (lock L2) -> t2
+        d = run(
+            [
+                fork(0, 1), fork(0, 2),
+                wr(0, X, site=1),
+                acq(0, L), rel(0, L),
+                acq(1, L), rel(1, L),
+                acq(1, L2), rel(1, L2),
+                acq(2, L2), rel(2, L2),
+                wr(2, X, site=2),
+            ]
+        )
+        assert d.races == []
+
+    def test_volatile_write_read_orders(self):
+        d = run(
+            [
+                fork(0, 1),
+                wr(0, X, site=1),
+                vol_wr(0, V),
+                vol_rd(1, V),
+                rd(1, X, site=2),
+            ]
+        )
+        assert d.races == []
+
+    def test_volatile_read_before_write_does_not_order(self):
+        d = run(
+            [
+                fork(0, 1),
+                vol_rd(1, V),
+                wr(0, X, site=1),
+                vol_wr(0, V),
+                rd(1, X, site=2),
+            ]
+        )
+        assert len(d.races) == 1
+
+    def test_multiple_concurrent_reads_all_race_with_write(self):
+        d = run(
+            [
+                fork(0, 1), fork(0, 2),
+                rd(1, X, site=1), rd(2, X, site=2),
+                wr(0, X, site=3),
+            ]
+        )
+        assert sorted((r.first_site, r.second_site) for r in d.races) == [
+            (1, 3),
+            (2, 3),
+        ]
+
+    def test_race_reports_carry_threads_and_indices(self):
+        d = run([fork(0, 1), wr(0, X, site=1), wr(1, X, site=2)])
+        race = d.races[0]
+        assert (race.first_tid, race.second_tid) == (0, 1)
+        assert race.first_index == 1
+        assert race.index == 2
+
+    def test_distinct_races_dedup(self):
+        events = [fork(0, 1)]
+        for _ in range(3):
+            events += [wr(0, X, site=1), wr(1, X, site=2)]
+        d = run(events)
+        assert len(d.races) >= 3
+        assert len(d.distinct_races) <= 3  # (1,2),(2,1),... site pairs only
+
+
+class TestAccounting:
+    def test_counts_accesses_and_syncs(self):
+        d = run([fork(0, 1), acq(0, L), rd(0, X), wr(0, X), rel(0, L), join(0, 1)])
+        assert d.counters.reads == 1
+        assert d.counters.writes == 1
+        assert d.counters.joins_slow >= 2  # acquire + join
+
+    def test_footprint_grows_with_vars(self):
+        d1 = run([wr(0, 1)])
+        d2 = run([wr(0, 1), wr(0, 2), wr(0, 3)])
+        assert d2.footprint_words() > d1.footprint_words()
+
+    def test_n_threads(self):
+        d = run([fork(0, 1), fork(1, 2)])
+        assert d.n_threads == 3
+
+    def test_unknown_event_kind_rejected(self):
+        from repro.trace.events import Event
+
+        d = GenericDetector()
+        with pytest.raises(ValueError):
+            d.apply(Event("bogus", 0, 0, 0))

@@ -1,0 +1,163 @@
+"""The Goldilocks lockset-transfer detector (paper §6.2)."""
+
+from repro.detectors import FastTrackDetector, GenericDetector, GoldilocksDetector
+from repro.trace.events import acq, fork, join, rd, rel, vol_rd, vol_wr, wr
+from repro.trace.generator import race_free_trace, random_trace
+from repro.trace.oracle import HBOracle
+
+X, Y = 1, 2
+L, L2 = 100, 101
+V = 200
+
+
+def run(events):
+    d = GoldilocksDetector()
+    d.run(events)
+    return d
+
+
+class TestTransferRules:
+    def test_lock_transfer_chain(self):
+        # rel(t0,m) puts m in the set; acq(t1,m) puts t1 in the set
+        d = run(
+            [
+                fork(0, 1),
+                wr(0, X, site=1),
+                acq(0, L), rel(0, L),
+                acq(1, L),
+                wr(1, X, site=2),
+            ]
+        )
+        assert d.races == []
+
+    def test_no_chain_no_hb(self):
+        d = run([fork(0, 1), wr(0, X, site=1), wr(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["ww"]
+
+    def test_fork_transfer(self):
+        d = run([wr(0, X), fork(0, 1), rd(1, X)])
+        assert d.races == []
+
+    def test_join_transfer(self):
+        d = run([fork(0, 1), wr(1, X), join(0, 1), wr(0, X)])
+        assert d.races == []
+
+    def test_volatile_transfer(self):
+        d = run([fork(0, 1), wr(0, X), vol_wr(0, V), vol_rd(1, V), rd(1, X)])
+        assert d.races == []
+
+    def test_volatile_read_before_write_no_edge(self):
+        d = run([fork(0, 1), vol_rd(1, V), wr(0, X), vol_wr(0, V), rd(1, X)])
+        assert len(d.races) == 1
+
+    def test_wrong_lock_no_edge(self):
+        d = run(
+            [
+                fork(0, 1),
+                wr(0, X, site=1), acq(0, L), rel(0, L),
+                acq(1, L2), wr(1, X, site=2), rel(1, L2),
+            ]
+        )
+        assert len(d.races) == 1
+
+    def test_transitive_chain_through_thread(self):
+        d = run(
+            [
+                fork(0, 1), fork(0, 2),
+                wr(0, X),
+                acq(0, L), rel(0, L),
+                acq(1, L), rel(1, L),
+                acq(1, L2), rel(1, L2),
+                acq(2, L2),
+                rd(2, X),
+            ]
+        )
+        assert d.races == []
+
+    def test_transfer_counter_moves(self):
+        d = run([fork(0, 1), wr(0, X), acq(0, L), rel(0, L), acq(1, L)])
+        assert d.transfers > 0
+
+
+class TestMetadataLifecycle:
+    def test_write_resets_readers(self):
+        d = GoldilocksDetector()
+        d.run([fork(0, 1), rd(0, X), rd(1, X), wr(0, X)])
+        state = d._vars[X]
+        assert state.readers == {}
+        assert state.write is not None and state.write.tid == 0
+
+    def test_same_thread_read_superseded(self):
+        d = GoldilocksDetector()
+        d.run([rd(0, X, site=1), rd(0, X, site=2)])
+        assert d._vars[X].readers[0].site == 2
+        assert len(d._vars[X].readers) == 1
+
+    def test_index_cleaned_on_reset(self):
+        d = GoldilocksDetector()
+        d.run([fork(0, 1)] + [wr(0, X)] * 5 + [wr(0, Y)] * 5)
+        # only the two live write locksets remain indexed under thread 0
+        assert len(d._index[("t", 0)]) == 2
+
+    def test_footprint_tracks_sets(self):
+        small = run([wr(0, X)])
+        big = run(
+            [fork(0, 1), wr(0, X), acq(0, L), rel(0, L), acq(1, L), rd(1, X)]
+        )
+        assert big.footprint_words() > small.footprint_words()
+
+
+class TestEquivalences:
+    def _truth(self, trace):
+        oracle = HBOracle(trace)
+        pairs = set()
+        for accesses in oracle._by_var.values():
+            for j, b in enumerate(accesses):
+                for a in accesses[:j]:
+                    if a.conflicts_with(b) and not a.happens_before(b):
+                        pairs.add((a.index, b.index))
+        return pairs
+
+    def test_precision_on_random_traces(self):
+        for seed in range(20):
+            trace = random_trace(seed=seed, length=350)
+            truth = self._truth(trace)
+            d = run(trace)
+            for race in d.races:
+                assert (race.first_index, race.index) in truth
+
+    def test_race_free_traces_clean(self):
+        for seed in range(10):
+            assert run(race_free_trace(seed=seed, length=250)).races == []
+
+    def test_same_racy_variables_as_fasttrack(self):
+        for seed in range(20):
+            trace = random_trace(seed=seed, length=350)
+            ft = FastTrackDetector()
+            ft.run(trace)
+            gl = run(trace)
+            assert {r.var for r in gl.races} == {r.var for r in ft.races}
+
+    def test_covers_fasttrack_shortest_races(self):
+        """Every FASTTRACK race with no intervening conflicting access
+        (a shortest race) is also reported by Goldilocks, identically."""
+        key = lambda r: (  # noqa: E731
+            r.var, r.kind, r.first_tid, r.first_site,
+            r.second_tid, r.second_site, r.index,
+        )
+        for seed in range(25):
+            trace = random_trace(seed=seed, length=350)
+            ft = FastTrackDetector()
+            ft.run(trace)
+            gl = run(trace)
+            gl_keys = {key(r) for r in gl.races}
+            accesses = {}
+            for i, e in enumerate(trace):
+                if e.kind in ("rd", "wr"):
+                    accesses.setdefault(e.target, []).append(i)
+            for r in ft.races:
+                intervening = any(
+                    r.first_index < i < r.index for i in accesses.get(r.var, [])
+                )
+                if not intervening:
+                    assert key(r) in gl_keys, (seed, r)

@@ -1,0 +1,116 @@
+"""End-to-end integration: workloads -> runtime -> detectors -> analysis."""
+
+import random
+
+import pytest
+
+from repro import FastTrackDetector, PacerDetector
+from repro.analysis import DetectionExperiment, run_trial
+from repro.core.sampling import BiasCorrectedController, ScriptedController
+from repro.detectors import EraserDetector, LiteRaceDetector, NullDetector
+from repro.sim.runtime import Runtime, RuntimeConfig
+from repro.sim.scheduler import run_program
+from repro.sim.workloads import ECLIPSE, PSEUDOJBB, build_program, volatile_flag
+
+QUICK = RuntimeConfig(track_memory=False)
+
+
+class TestProportionalityEndToEnd:
+    def test_detection_scales_with_rate(self):
+        """The headline claim, in miniature: detection rate ~ sampling rate."""
+        spec = PSEUDOJBB.scaled(0.6)
+        exp = DetectionExperiment(spec, full_trials=6, config=QUICK)
+        exp.run_baseline()
+        low = exp.run_rate(0.05, trials=12, seed_base=100)
+        high = exp.run_rate(0.5, trials=12, seed_base=200)
+        d_low = low.dynamic_detection_rate(exp.baseline_dynamic)
+        d_high = high.dynamic_detection_rate(exp.baseline_dynamic)
+        assert d_high > d_low
+        assert d_high > 0.2
+        assert d_low < 0.25
+
+    def test_dynamic_rate_tracks_effective_rate(self):
+        spec = PSEUDOJBB.scaled(0.6)
+        exp = DetectionExperiment(spec, full_trials=6, config=QUICK)
+        exp.run_baseline()
+        acc = exp.run_rate(0.3, trials=15, seed_base=300)
+        dyn = acc.dynamic_detection_rate(exp.baseline_dynamic)
+        eff = acc.mean_effective_rate
+        assert abs(dyn - eff) < 0.15
+
+
+class TestOverheadOrdering:
+    def test_work_ordering_across_configs(self):
+        """fast-path-only < pacer r~50% < always-on FASTTRACK (slow ops)."""
+        trace_events = []
+        program = build_program(PSEUDOJBB.scaled(0.5), trial_seed=0)
+        from repro.sim.scheduler import Scheduler
+
+        s = Scheduler(program, seed=0, sink=trace_events.append)
+        s.run()
+
+        def slow_ops(detector, controller=None):
+            rt_program = build_program(PSEUDOJBB.scaled(0.5), trial_seed=0)
+            rt = Runtime(rt_program, detector, controller=controller, config=QUICK)
+            rt.run()
+            c = detector.counters
+            return (
+                c.reads_slow_sampling
+                + c.reads_slow_nonsampling
+                + c.writes_slow_sampling
+                + c.writes_slow_nonsampling
+            )
+
+        zero = slow_ops(PacerDetector())
+        half = slow_ops(
+            PacerDetector(), ScriptedController([True, False] * 10_000)
+        )
+        full = slow_ops(FastTrackDetector())
+        assert zero < half < full
+
+    def test_pacer_space_below_fasttrack(self):
+        config = RuntimeConfig(track_memory=True, full_gc_every=2)
+        ft_rt = Runtime(
+            build_program(PSEUDOJBB.scaled(0.5), 0), FastTrackDetector(), config=config
+        )
+        ft_rt.run()
+        pacer_rt = Runtime(
+            build_program(PSEUDOJBB.scaled(0.5), 0),
+            PacerDetector(),
+            controller=BiasCorrectedController(0.05, rng=random.Random(1)),
+            config=config,
+        )
+        pacer_rt.run()
+        ft_meta = ft_rt.snapshots[-1].metadata_words
+        pacer_meta = pacer_rt.snapshots[-1].metadata_words
+        assert pacer_meta < ft_meta / 2
+
+
+class TestDetectorZoo:
+    def test_all_detectors_run_a_workload(self):
+        trace = run_program(build_program(PSEUDOJBB.scaled(0.3), 0), seed=0)
+        for det in (
+            NullDetector(),
+            FastTrackDetector(),
+            PacerDetector(sampling=True),
+            LiteRaceDetector(seed=0),
+            EraserDetector(),
+        ):
+            det.run(trace)  # must not raise
+
+    def test_volatile_flag_micro(self):
+        trace = run_program(volatile_flag(30), seed=2)
+        ft = FastTrackDetector()
+        ft.run(trace)
+        # the deliberate slip (var 2) always races; the data variable may
+        # race only under run-ahead schedules
+        assert 2 in {r.var for r in ft.races}
+        assert {r.var for r in ft.races} <= {1, 2}
+
+    def test_eclipse_trial_pipeline(self):
+        result = run_trial(
+            ECLIPSE.scaled(0.4), FastTrackDetector(), trial_seed=0, config=QUICK
+        )
+        assert result.events > 5_000
+        assert result.threads_started == ECLIPSE.threads_total
+        assert len(result.detected_ids) > 5

@@ -1,0 +1,164 @@
+"""The real-threads frontend (repro.live)."""
+
+from repro import PacerDetector
+from repro.live import RaceMonitor
+
+
+def spawn_and_join(mon, target, n):
+    threads = [mon.thread(target) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return threads
+
+
+class TestRacyPrograms:
+    def test_unsynchronized_counter_reported(self):
+        mon = RaceMonitor()
+        counter = mon.shared("counter", 0)
+
+        def bump():
+            for _ in range(30):
+                counter.set(counter.get() + 1)
+
+        spawn_and_join(mon, bump, 3)
+        assert len(mon.detector.races) > 0
+
+    def test_report_names_real_source_lines(self):
+        mon = RaceMonitor()
+        flag = mon.shared("flag", False)
+
+        def poke():
+            flag.set(True)
+
+        spawn_and_join(mon, poke, 2)
+        assert mon.detector.races
+        text = mon.describe_races()
+        assert "test_live.py" in text
+
+
+class TestCleanPrograms:
+    def test_locked_counter_clean(self):
+        mon = RaceMonitor()
+        counter = mon.shared("counter", 0)
+        lock = mon.lock("guard")
+
+        def bump():
+            for _ in range(30):
+                with lock:
+                    counter.set(counter.get() + 1)
+
+        spawn_and_join(mon, bump, 3)
+        assert mon.detector.races == []
+        assert counter.get() == 90
+
+    def test_fork_join_publication_clean(self):
+        mon = RaceMonitor()
+        box = mon.shared("box", None)
+
+        def child():
+            box.set("written-by-child")
+
+        box.set("init")
+        t = mon.thread(child)
+        t.start()
+        t.join()
+        assert box.get() == "written-by-child"
+        assert mon.detector.races == []
+
+    def test_volatile_publication_clean(self):
+        mon = RaceMonitor()
+        data = mon.shared("data", 0)
+        ready = mon.volatile("ready", False)
+
+        def producer():
+            data.set(42)
+            ready.set(True)
+
+        t = mon.thread(producer)
+        t.start()
+        t.join()  # join also orders, but the volatile edge alone suffices
+        assert ready.get() is True
+        assert data.get() == 42
+        assert mon.detector.races == []
+
+
+class TestMonitorMachinery:
+    def test_custom_detector_accepted(self):
+        mon = RaceMonitor(detector=PacerDetector(sampling=True))
+        v = mon.shared("v", 0)
+
+        def touch():
+            v.set(1)
+
+        spawn_and_join(mon, touch, 2)
+        assert len(mon.detector.races) > 0
+
+    def test_variable_names_interned(self):
+        mon = RaceMonitor()
+        a1 = mon.shared("same", 0)
+        a2 = mon.shared("same", 0)
+        assert a1._var == a2._var
+        assert mon.shared("other", 0)._var != a1._var
+
+    def test_reentrant_tracked_lock(self):
+        mon = RaceMonitor()
+        lock = mon.lock("re")
+        with lock:
+            with lock:
+                pass  # no deadlock, no error
+
+    def test_site_names_resolvable(self):
+        mon = RaceMonitor()
+        v = mon.shared("v", 0)
+        v.set(1)
+        site = next(iter(mon._site_names))
+        assert ":" in mon.site_name(site)
+        assert mon.site_name(99_999).startswith("site#")
+
+
+class TestSamplingDriver:
+    def _racy_run(self, rate, seed=0):
+        import random
+
+        from repro.core.pacer import PacerDetector
+        from repro.live import SamplingDriver
+
+        mon = RaceMonitor(detector=PacerDetector())
+        v = mon.shared("v", 0)
+
+        def churn():
+            for _ in range(300):
+                v.set(v.get() + 1)
+
+        driver = SamplingDriver(
+            mon, rate=rate, period_s=0.001, rng=random.Random(seed)
+        )
+        with driver:
+            spawn_and_join(mon, churn, 3)
+        return mon, driver
+
+    def test_always_sampling_detects(self):
+        mon, driver = self._racy_run(rate=1.0)
+        assert driver.sampled_periods == driver.periods
+        assert len(mon.detector.races) > 0
+
+    def test_never_sampling_detects_nothing(self):
+        mon, driver = self._racy_run(rate=0.0)
+        assert driver.sampled_periods == 0
+        assert mon.detector.races == []
+        assert mon.detector.tracked_variables == 0
+
+    def test_stop_leaves_sampling_off(self):
+        mon, driver = self._racy_run(rate=1.0)
+        assert mon.detector.sampling is False
+
+    def test_rate_validated(self):
+        from repro.live import SamplingDriver
+
+        mon = RaceMonitor()
+        import pytest
+
+        with pytest.raises(ValueError):
+            SamplingDriver(mon, rate=1.5)

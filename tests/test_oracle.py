@@ -1,0 +1,112 @@
+"""The exact happens-before oracle: ground truth for everything else."""
+
+from repro.detectors import GenericDetector
+from repro.trace.events import acq, fork, join, rd, rel, sbegin, send, vol_rd, vol_wr, wr
+from repro.trace.generator import race_free_trace, random_trace
+from repro.trace.oracle import HBOracle
+
+X, Y = 1, 2
+L = 100
+V = 200
+
+
+class TestHappensBefore:
+    def test_program_order(self):
+        o = HBOracle([wr(0, X), rd(0, X)])
+        a, b = o.accesses
+        assert a.happens_before(b)
+        assert not b.happens_before(a)
+
+    def test_concurrent_accesses(self):
+        o = HBOracle([fork(0, 1), wr(0, X), wr(1, X)])
+        a, b = o.accesses
+        assert a.concurrent_with(b)
+
+    def test_lock_edge(self):
+        o = HBOracle(
+            [fork(0, 1), acq(0, L), wr(0, X), rel(0, L), acq(1, L), wr(1, X)]
+        )
+        a, b = o.accesses
+        assert a.happens_before(b)
+
+    def test_fork_edge(self):
+        o = HBOracle([wr(0, X), fork(0, 1), rd(1, X)])
+        a, b = o.accesses
+        assert a.happens_before(b)
+
+    def test_join_edge(self):
+        o = HBOracle([fork(0, 1), wr(1, X), join(0, 1), rd(0, X)])
+        a, b = o.accesses
+        assert a.happens_before(b)
+
+    def test_volatile_edge(self):
+        o = HBOracle([fork(0, 1), wr(0, X), vol_wr(0, V), vol_rd(1, V), rd(1, X)])
+        a, b = o.accesses
+        assert a.happens_before(b)
+
+    def test_sampling_markers_carry_no_edges(self):
+        o = HBOracle([fork(0, 1), wr(0, X), sbegin(), send(), wr(1, X)])
+        a, b = o.accesses
+        assert a.concurrent_with(b)
+
+    def test_conflicts(self):
+        o = HBOracle([fork(0, 1), rd(0, X), rd(1, X), wr(1, Y)])
+        r0, r1, w = o.accesses
+        assert not r0.conflicts_with(r1)  # two reads
+        assert not r0.conflicts_with(w)  # different variable
+        assert w.conflicts_with(w) or True  # self-conflict is irrelevant
+
+
+class TestRaceEnumeration:
+    def test_all_races_simple(self):
+        o = HBOracle([fork(0, 1), wr(0, X, 1), wr(1, X, 2)])
+        races = o.all_races()
+        assert len(races) == 1
+        assert races[0].kind == "ww"
+        assert races[0].distinct_key == (1, 2)
+
+    def test_all_races_transitive_pairs(self):
+        # three concurrent writes: 3 racing pairs
+        o = HBOracle([fork(0, 1), fork(0, 2), wr(0, X), wr(1, X), wr(2, X)])
+        assert len(o.all_races()) == 3
+
+    def test_reportable_races_last_racer_only(self):
+        # w0, w1, r2: all concurrent; reportable for r2 is (w1, r2) only
+        o = HBOracle([fork(0, 1), fork(0, 2), wr(0, X), wr(1, X), rd(2, X)])
+        reportable = o.reportable_races()
+        seconds = [(r.first.index, r.second.index) for r in reportable]
+        assert (3, 4) in seconds  # w1 -> r2
+        assert (2, 4) not in seconds  # w0 is not the last racer of r2
+
+    def test_is_race_free(self):
+        assert HBOracle([fork(0, 1), acq(0, L), wr(0, X), rel(0, L)]).is_race_free()
+        assert not HBOracle([fork(0, 1), wr(0, X), wr(1, X)]).is_race_free()
+
+    def test_racy_variables(self):
+        o = HBOracle([fork(0, 1), wr(0, X), wr(1, X), wr(0, Y)])
+        assert o.racy_variables() == {X}
+
+    def test_generated_race_free_traces(self):
+        for seed in range(8):
+            assert HBOracle(race_free_trace(seed=seed, length=200)).is_race_free()
+
+    def test_agrees_with_generic_detector(self):
+        """GENERIC reports exactly the oracle's racy variables."""
+        for seed in range(15):
+            trace = random_trace(seed=seed, length=300)
+            oracle = HBOracle(trace)
+            g = GenericDetector()
+            g.run(trace)
+            assert {r.var for r in g.races} == oracle.racy_variables()
+
+    def test_generic_reports_are_true_racing_pairs(self):
+        """Every GENERIC report corresponds to a true racing pair (it
+        keeps only each thread's last access, so it reports a subset)."""
+        for seed in range(10):
+            trace = random_trace(seed=seed, length=250)
+            oracle = HBOracle(trace)
+            truth = {(r.first.index, r.second.index) for r in oracle.all_races()}
+            g = GenericDetector()
+            g.run(trace)
+            reported = {(r.first_index, r.index) for r in g.races}
+            assert reported <= truth

@@ -1,0 +1,206 @@
+"""PACER at sampling-period boundaries and other edge conditions.
+
+These scenarios sit on the seams between the sampled (FASTTRACK) and
+non-sampled (discard/fast-path) regimes — historically where the
+pseudocode errata live (DESIGN.md errata 6-7) — plus volatile and
+workload-scale checks.
+"""
+
+from repro import FastTrackDetector, PacerDetector
+from repro.analysis import run_trial
+from repro.core.sampling import ScriptedController
+from repro.sim.runtime import RuntimeConfig
+from repro.sim.workloads import PSEUDOJBB, XALAN
+from repro.trace.events import (
+    acq,
+    fork,
+    join,
+    rd,
+    rel,
+    sbegin,
+    send,
+    vol_rd,
+    vol_wr,
+    wr,
+)
+
+X, Y = 1, 2
+L, L2 = 100, 101
+V, V2 = 200, 201
+
+QUICK = RuntimeConfig(track_memory=False)
+
+
+class TestPeriodBoundaries:
+    def test_race_spanning_many_periods(self):
+        events = [fork(0, 1), sbegin(), wr(0, X, site=1), send()]
+        for _ in range(10):
+            events += [sbegin(), rd(0, Y), send()]
+        events += [rd(1, X, site=2)]
+        d = PacerDetector()
+        d.run(events)
+        assert [(r.first_site, r.second_site) for r in d.races] == [(1, 2)]
+
+    def test_second_access_inside_later_period(self):
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1),
+                sbegin(), wr(0, X, site=1), send(),
+                sbegin(), wr(1, X, site=2), send(),
+            ]
+        )
+        assert [(r.first_site, r.second_site) for r in d.races] == [(1, 2)]
+
+    def test_metadata_created_in_one_period_updated_in_next(self):
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1),
+                sbegin(), rd(0, X, site=1), send(),
+                sbegin(), rd(1, X, site=2), send(),  # inflates the map
+                wr(0, X, site=3),
+            ]
+        )
+        # t1's sampled read races t0's unsampled write; t0's own read does not
+        assert {(r.first_site, r.second_site) for r in d.races} == {(2, 3)}
+
+    def test_empty_sampling_period_harmless(self):
+        trace = [fork(0, 1), sbegin(), send(), wr(0, X, 1), wr(1, X, 2)]
+        d = PacerDetector()
+        d.run(trace)
+        assert d.races == []  # nothing was sampled
+        assert d.tracked_variables == 0
+
+    def test_sampling_to_the_end_of_trace(self):
+        d = PacerDetector()
+        d.run([fork(0, 1), sbegin(), wr(0, X, 1), wr(1, X, 2)])
+        assert len(d.races) == 1
+
+    def test_lock_protected_sampled_accesses_never_reported(self):
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1),
+                sbegin(),
+                acq(0, L), wr(0, X, 1), rel(0, L),
+                send(),
+                acq(1, L), rd(1, X, 2), rel(1, L),
+                sbegin(),
+                acq(1, L), wr(1, X, 3), rel(1, L),
+                send(),
+            ]
+        )
+        assert d.races == []
+
+
+class TestVolatileBoundaries:
+    def test_volatile_edge_across_period_boundary(self):
+        # the HB edge through a volatile written while sampling and read
+        # while not sampling must still order the accesses
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1),
+                sbegin(), wr(0, X, 1), vol_wr(0, V), send(),
+                vol_rd(1, V),
+                rd(1, X, 2),
+            ]
+        )
+        assert d.races == []
+
+    def test_concurrent_volatile_writers_then_reader(self):
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1), fork(0, 2),
+                sbegin(),
+                wr(0, X, 1), vol_wr(0, V),
+                wr(1, Y, 2), vol_wr(1, V),  # concurrent: vepoch -> TOP
+                send(),
+                vol_rd(2, V),
+                rd(2, X, 3), rd(2, Y, 4),
+            ]
+        )
+        assert d.races == []
+
+    def test_two_volatiles_do_not_alias(self):
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1),
+                sbegin(), wr(0, X, 1), vol_wr(0, V), send(),
+                vol_rd(1, V2),  # wrong volatile: no edge
+                rd(1, X, 2),
+            ]
+        )
+        assert [(r.first_site, r.second_site) for r in d.races] == [(1, 2)]
+
+
+class TestWorkloadScaleEquivalence:
+    def test_pacer_full_equals_fasttrack_on_workload(self):
+        # (the runtime feeds PACER one extra sbegin event, so absolute
+        # event indices shift by one; compare the index-free signature)
+        def sig(races):
+            return [
+                (r.var, r.kind, r.first_tid, r.first_site, r.second_tid, r.second_site)
+                for r in races
+            ]
+
+        for name, spec in (("pseudojbb", PSEUDOJBB), ("xalan", XALAN)):
+            ft = run_trial(spec.scaled(0.3), FastTrackDetector(), 5, config=QUICK)
+            pacer = run_trial(
+                spec.scaled(0.3),
+                PacerDetector(),
+                5,
+                controller=ScriptedController([True] * 100_000),
+                config=QUICK,
+            )
+            assert sig(pacer.detector.races) == sig(ft.detector.races)
+
+    def test_pacer_zero_tracks_nothing_on_workload(self):
+        result = run_trial(XALAN.scaled(0.3), PacerDetector(), 3, config=QUICK)
+        detector = result.detector
+        assert detector.races == []
+        assert detector.tracked_variables == 0
+        assert detector.counters.increments == 0
+        assert detector.counters.copies_deep_nonsampling == 0
+
+
+class TestThreadLifecycleEdges:
+    def test_fork_during_sampling(self):
+        d = PacerDetector()
+        d.run(
+            [
+                sbegin(),
+                wr(0, X, 1),
+                fork(0, 1),
+                rd(1, X, 2),  # ordered by the fork edge
+                send(),
+            ]
+        )
+        assert d.races == []
+
+    def test_fork_outside_sampling_child_races_later(self):
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1),
+                sbegin(), wr(1, X, 1), send(),
+                fork(0, 2),
+                wr(2, X, 2),  # concurrent with t1's sampled write
+            ]
+        )
+        assert ("ww", 1, 2) in {(r.kind, r.first_site, r.second_site) for r in d.races}
+
+    def test_join_then_new_period(self):
+        d = PacerDetector()
+        d.run(
+            [
+                fork(0, 1),
+                sbegin(), wr(1, X, 1), send(),
+                join(0, 1),
+                sbegin(), wr(0, X, 2), send(),  # ordered via the join
+            ]
+        )
+        assert d.races == []

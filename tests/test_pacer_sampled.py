@@ -1,0 +1,120 @@
+"""PACER inside sampling periods: exactly FASTTRACK (paper §3.3)."""
+
+from helpers import race_sigs
+
+from repro import FastTrackDetector, PacerDetector
+from repro.trace.events import acq, fork, join, rd, rel, sbegin, send, vol_rd, vol_wr, wr
+from repro.trace.generator import race_free_trace, random_trace
+
+X, Y = 1, 2
+L = 100
+V = 200
+
+
+def pacer(events, sampling=True):
+    d = PacerDetector(sampling=sampling)
+    d.run(events)
+    return d
+
+
+class TestBasicRaces:
+    def test_ww_race(self):
+        d = pacer([fork(0, 1), wr(0, X, site=1), wr(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["ww"]
+
+    def test_wr_race(self):
+        d = pacer([fork(0, 1), wr(0, X, site=1), rd(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["wr"]
+
+    def test_rw_race(self):
+        d = pacer([fork(0, 1), rd(0, X, site=1), wr(1, X, site=2)])
+        assert [r.kind for r in d.races] == ["rw"]
+
+    def test_lock_discipline_clean(self):
+        d = pacer(
+            [
+                fork(0, 1),
+                acq(0, L), rd(0, X), wr(0, X), rel(0, L),
+                acq(1, L), rd(1, X), wr(1, X), rel(1, L),
+            ]
+        )
+        assert d.races == []
+
+    def test_fork_join_clean(self):
+        d = pacer([wr(0, X), fork(0, 1), wr(1, X), join(0, 1), wr(0, X)])
+        assert d.races == []
+
+    def test_volatile_ordering_clean(self):
+        d = pacer([fork(0, 1), wr(0, X), vol_wr(0, V), vol_rd(1, V), wr(1, X)])
+        assert d.races == []
+
+
+class TestFastTrackEquivalence:
+    """Always-sampling PACER must report exactly what FASTTRACK reports."""
+
+    def test_exact_equality_on_random_traces(self):
+        for seed in range(40):
+            trace = random_trace(seed=seed, length=400)
+            ft = FastTrackDetector()
+            ft.run(trace)
+            p = PacerDetector(sampling=True)
+            p.run(trace)
+            assert race_sigs(ft.races) == race_sigs(p.races), f"seed {seed}"
+
+    def test_exact_equality_with_volatile_heavy_traces(self):
+        for seed in range(15):
+            trace = random_trace(seed=seed, length=400, sync_fraction=0.4)
+            ft = FastTrackDetector()
+            ft.run(trace)
+            p = PacerDetector(sampling=True)
+            p.run(trace)
+            assert race_sigs(ft.races) == race_sigs(p.races), f"seed {seed}"
+
+    def test_race_free_traces_clean(self):
+        for seed in range(10):
+            trace = race_free_trace(seed=seed, length=300)
+            assert pacer(trace).races == []
+
+    def test_equality_unaffected_by_version_flags(self):
+        for seed in range(10):
+            trace = random_trace(seed=seed, length=300)
+            baseline = race_sigs(PacerDetector(sampling=True).run(trace))
+            no_versions = PacerDetector(sampling=True, use_versions=False)
+            no_versions.run(trace)
+            assert race_sigs(no_versions.races) == baseline
+            no_sharing = PacerDetector(sampling=True, use_sharing=False)
+            no_sharing.run(trace)
+            assert race_sigs(no_sharing.races) == baseline
+
+
+class TestSamplingPeriodBoundaries:
+    def test_sbegin_increments_all_threads(self):
+        d = PacerDetector(sampling=False)
+        d.run([fork(0, 1), wr(0, 999)])  # materialize both threads
+        clocks_before = {t: m.clock.get(t) for t, m in d._thread.items()}
+        d.apply(sbegin())
+        for tid, meta in d._thread.items():
+            assert meta.clock.get(tid) == clocks_before[tid] + 1
+
+    def test_sbegin_idempotent_within_period(self):
+        d = PacerDetector(sampling=True)
+        d.run([wr(0, X)])
+        before = d._thread[0].clock.get(0)
+        d.begin_sampling()  # already sampling: no change
+        assert d._thread[0].clock.get(0) == before
+
+    def test_send_stops_time(self):
+        d = PacerDetector(sampling=True)
+        d.run([wr(0, X), send(), acq(0, L), rel(0, L)])
+        # release does not increment outside sampling periods
+        assert d._thread[0].clock.get(0) == 1
+
+    def test_fully_sampled_trace_with_markers_matches_ft(self):
+        events = [fork(0, 1), sbegin(), wr(0, X, site=1), wr(1, X, site=2), send()]
+        ft = FastTrackDetector()
+        ft.run(events)
+        p = PacerDetector()
+        p.run(events)
+        assert {(r.first_site, r.second_site) for r in p.races} == {
+            (r.first_site, r.second_site) for r in ft.races
+        }

@@ -1,0 +1,139 @@
+"""The managed runtime: GC-driven sampling, bias correction, snapshots."""
+
+import random
+
+import pytest
+
+from repro import FastTrackDetector, PacerDetector
+from repro.core.sampling import BiasCorrectedController, ScriptedController
+from repro.detectors import NullDetector
+from repro.sim.runtime import Runtime, RuntimeConfig
+from repro.sim.workloads import (
+    PSEUDOJBB,
+    build_program,
+    counter_race,
+    redundant_sync_storm,
+)
+
+
+def small_config(**kw):
+    kw.setdefault("nursery_bytes", 1024)
+    kw.setdefault("track_memory", True)
+    return RuntimeConfig(**kw)
+
+
+class TestSamplingToggle:
+    def test_no_controller_never_samples(self):
+        d = PacerDetector()
+        rt = Runtime(counter_race(2, 40), d, config=small_config())
+        rt.run()
+        assert d.sampling is False
+        assert rt.effective_sampling_rate == 0.0
+
+    def test_always_on_controller(self):
+        d = PacerDetector()
+        rt = Runtime(
+            redundant_sync_storm(4, 100),
+            d,
+            controller=ScriptedController([True] * 1000),
+            config=small_config(),
+        )
+        rt.run()
+        assert rt.effective_sampling_rate == 1.0
+        assert d.sampling is True
+
+    def test_scripted_alternation(self):
+        d = PacerDetector()
+        rt = Runtime(
+            redundant_sync_storm(4, 200),
+            d,
+            controller=ScriptedController([True, False] * 500),
+            config=small_config(),
+        )
+        rt.run()
+        assert 0.0 < rt.effective_sampling_rate < 1.0
+        assert len(rt.gc_log) > 4
+
+    def test_effective_rate_tracks_specified(self):
+        effs = []
+        for k in range(8):
+            d = PacerDetector()
+            rt = Runtime(
+                build_program(PSEUDOJBB, trial_seed=k),
+                d,
+                controller=BiasCorrectedController(0.2, rng=random.Random(k)),
+                config=RuntimeConfig(track_memory=False),
+                seed=k,
+            )
+            rt.run()
+            effs.append(rt.effective_sampling_rate)
+        mean = sum(effs) / len(effs)
+        assert 0.1 < mean < 0.3
+
+    def test_gc_happens(self):
+        d = NullDetector()
+        rt = Runtime(counter_race(2, 400), d, config=small_config())
+        rt.run()
+        assert len(rt.gc_log) >= 1
+
+
+class TestMemorySnapshots:
+    def test_snapshots_recorded(self):
+        d = FastTrackDetector()
+        rt = Runtime(counter_race(4, 300), d, config=small_config(full_gc_every=1))
+        rt.run()
+        assert len(rt.snapshots) >= 2
+        final = rt.snapshots[-1]
+        assert final.metadata_words > 0
+        assert final.total_words == (
+            final.program_words + final.header_words + final.metadata_words
+        )
+
+    def test_header_words_optional(self):
+        d = NullDetector()
+        rt = Runtime(
+            counter_race(2, 100),
+            d,
+            config=small_config(),
+            count_headers=False,
+        )
+        rt.run()
+        assert all(s.header_words == 0 for s in rt.snapshots)
+
+    def test_live_objects_grow_program_words(self):
+        d = NullDetector()
+        rt = Runtime(
+            build_program(PSEUDOJBB, trial_seed=0),
+            d,
+            config=small_config(full_gc_every=1),
+        )
+        rt.run()
+        assert rt.snapshots[-1].program_words > 0
+
+    def test_track_memory_disabled(self):
+        d = NullDetector()
+        rt = Runtime(
+            counter_race(2, 200), d, config=small_config(track_memory=False)
+        )
+        rt.run()
+        assert rt.snapshots == []  # only the final snapshot is skipped too
+
+
+class TestStats:
+    def test_thread_stats_exposed(self):
+        d = NullDetector()
+        rt = Runtime(build_program(PSEUDOJBB, trial_seed=0), d)
+        rt.run()
+        assert rt.threads_started == PSEUDOJBB.threads_total
+        assert rt.max_live_threads <= PSEUDOJBB.max_live + 1
+
+    def test_detector_races_flow_through(self):
+        d = PacerDetector()
+        rt = Runtime(
+            counter_race(3, 200),
+            d,
+            controller=ScriptedController([True] * 10_000),
+            config=small_config(),
+        )
+        rt.run()
+        assert len(d.races) > 0

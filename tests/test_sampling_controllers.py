@@ -1,0 +1,94 @@
+"""Unit tests for the sampling-period controllers (paper §4)."""
+
+import random
+
+import pytest
+
+from repro.core.sampling import (
+    BiasCorrectedController,
+    FixedRateController,
+    ScriptedController,
+)
+
+
+class TestFixedRate:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FixedRateController(-0.1)
+        with pytest.raises(ValueError):
+            FixedRateController(1.5)
+
+    def test_rate_one_always_samples(self):
+        c = FixedRateController(1.0, rng=random.Random(0))
+        assert all(c.decide() for _ in range(50))
+
+    def test_rate_zero_never_samples(self):
+        c = FixedRateController(0.0, rng=random.Random(0))
+        assert not any(c.decide() for _ in range(50))
+
+    def test_long_run_frequency(self):
+        c = FixedRateController(0.25, rng=random.Random(42))
+        hits = sum(c.decide() for _ in range(20_000))
+        assert abs(hits / 20_000 - 0.25) < 0.02
+
+    def test_effective_rate_tracks_work(self):
+        c = FixedRateController(0.5)
+        c.on_work(30, sampling=True)
+        c.on_work(70, sampling=False)
+        assert c.effective_rate == pytest.approx(0.3)
+
+    def test_effective_rate_empty(self):
+        assert FixedRateController(0.5).effective_rate == 0.0
+
+
+class TestBiasCorrection:
+    def _simulate(self, controller, periods, bias, rng):
+        """Periods do `100` work units normally but `100*bias` when
+        sampling (metadata allocation shortens sampled periods)."""
+        sampling = False
+        for _ in range(periods):
+            work = int(100 * bias) if sampling else 100
+            controller.on_work(work, sampling)
+            sampling = controller.decide()
+        return controller.effective_rate
+
+    def test_fixed_rate_underachieves_with_bias(self):
+        fixed = FixedRateController(0.2, rng=random.Random(1))
+        eff = self._simulate(fixed, 4000, bias=0.4, rng=None)
+        assert eff < 0.15  # visibly below the specified 20%
+
+    def test_corrected_rate_converges(self):
+        corrected = BiasCorrectedController(0.2, rng=random.Random(1))
+        eff = self._simulate(corrected, 4000, bias=0.4, rng=None)
+        assert abs(eff - 0.2) < 0.03
+
+    def test_corrected_beats_fixed(self):
+        fixed = FixedRateController(0.1, rng=random.Random(3))
+        corrected = BiasCorrectedController(0.1, rng=random.Random(3))
+        eff_fixed = self._simulate(fixed, 3000, bias=0.3, rng=None)
+        eff_corr = self._simulate(corrected, 3000, bias=0.3, rng=None)
+        assert abs(eff_corr - 0.1) < abs(eff_fixed - 0.1)
+
+    def test_no_bias_still_accurate(self):
+        corrected = BiasCorrectedController(0.3, rng=random.Random(9))
+        eff = self._simulate(corrected, 4000, bias=1.0, rng=None)
+        assert abs(eff - 0.3) < 0.03
+
+    def test_extreme_rates(self):
+        assert not any(
+            BiasCorrectedController(0.0).decide() for _ in range(20)
+        )
+        c = BiasCorrectedController(1.0)
+        assert all(c.decide() for _ in range(20))
+
+
+class TestScripted:
+    def test_replays_schedule(self):
+        c = ScriptedController([True, False, True])
+        assert [c.decide() for _ in range(5)] == [True, False, True, False, False]
+
+    def test_tracks_work_like_others(self):
+        c = ScriptedController([True])
+        c.on_work(10, True)
+        c.on_work(30, False)
+        assert c.effective_rate == pytest.approx(0.25)

@@ -1,0 +1,100 @@
+"""Statistical helpers for experiment reporting."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.statistics import (
+    binomial_ci_contains,
+    mean_confidence_interval,
+    proportionality_consistent,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_symmetric_at_half(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+        assert abs((0.5 - lo) - (hi - 0.5)) < 1e-9
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 20)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.25
+
+    def test_all_successes(self):
+        lo, hi = wilson_interval(20, 20)
+        assert hi == 1.0
+        assert 0.75 < lo < 1.0
+
+    def test_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_against_scipy_if_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        # coverage check: the 95% Wilson interval should contain the true
+        # p in ~95% of repeated binomial samples
+        rng = random.Random(42)
+        p_true = 0.3
+        n = 60
+        covered = 0
+        reps = 400
+        for _ in range(reps):
+            successes = sum(rng.random() < p_true for _ in range(n))
+            lo, hi = wilson_interval(successes, n)
+            covered += lo <= p_true <= hi
+        assert covered / reps > 0.90
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_binomial_ci_contains(self):
+        assert binomial_ci_contains(10, 100, 0.10)
+        assert not binomial_ci_contains(10, 100, 0.50)
+
+
+class TestMeanCI:
+    def test_simple(self):
+        mu, lo, hi = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mu == 2.0
+        assert lo < 2.0 < hi
+
+    def test_single_value(self):
+        mu, lo, hi = mean_confidence_interval([4.2])
+        assert mu == lo == hi == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_tighter_with_more_data(self):
+        rng = random.Random(7)
+        small = [rng.gauss(0, 1) for _ in range(10)]
+        big = [rng.gauss(0, 1) for _ in range(1000)]
+        _, lo_s, hi_s = mean_confidence_interval(small)
+        _, lo_b, hi_b = mean_confidence_interval(big)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+
+class TestProportionality:
+    def test_consistent_case(self):
+        # detection ≈ 1-(1-r)^k: r=0.1, k=2 -> ~0.19 per trial
+        assert proportionality_consistent(19, 100, 0.10, occurrences_per_trial=2)
+
+    def test_inconsistent_case(self):
+        # a detector that never fires is inconsistent with r=20%
+        assert not proportionality_consistent(0, 200, 0.20)
+
+    def test_simulated_pacer_like_process(self):
+        rng = random.Random(3)
+        r, k, trials = 0.15, 3.0, 200
+        p = 1 - (1 - r) ** k
+        detections = sum(rng.random() < p for _ in range(trials))
+        assert proportionality_consistent(detections, trials, r, k)

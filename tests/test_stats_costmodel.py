@@ -1,0 +1,92 @@
+"""Operation counters and the analysis cost model."""
+
+import pytest
+
+from repro import FastTrackDetector, PacerDetector
+from repro.core.stats import CostModel, OpCounters
+from repro.trace.generator import random_trace
+
+
+class TestOpCounters:
+    def test_snapshot_and_diff(self):
+        c = OpCounters()
+        c.reads_slow_sampling += 5
+        snap = c.snapshot()
+        c.reads_slow_sampling += 2
+        c.joins_fast_nonsampling += 1
+        delta = c.diff(snap)
+        assert delta["reads_slow_sampling"] == 2
+        assert delta["joins_fast_nonsampling"] == 1
+        assert delta["writes_slow_sampling"] == 0
+
+    def test_aggregates(self):
+        c = OpCounters(
+            joins_slow_sampling=2,
+            joins_slow_nonsampling=3,
+            joins_fast_sampling=1,
+            joins_fast_nonsampling=4,
+            reads_slow_sampling=10,
+            reads_fast_nonsampling=20,
+            writes_slow_nonsampling=5,
+        )
+        assert c.joins_slow == 5
+        assert c.joins_fast == 5
+        assert c.reads == 30
+        assert c.writes == 5
+
+
+class TestCostModel:
+    def test_more_threads_cost_more_for_slow_ops(self):
+        c = OpCounters(joins_slow_sampling=100)
+        model = CostModel()
+        assert model.cost(c, 64) > model.cost(c, 2)
+
+    def test_fast_paths_cheapest(self):
+        model = CostModel()
+        fast = OpCounters(reads_fast_nonsampling=1000)
+        slow = OpCounters(reads_slow_nonsampling=1000)
+        assert model.cost(fast, 4) < model.cost(slow, 4)
+
+    def test_pacer_nonsampling_cheaper_than_fasttrack(self):
+        trace = random_trace(seed=1, length=2000)
+        ft = FastTrackDetector()
+        ft.run(trace)
+        p = PacerDetector(sampling=False)
+        p.run(trace)
+        model = CostModel()
+        n = ft.n_threads
+        assert model.cost(p.counters, n) < model.cost(ft.counters, n) / 3
+
+    def test_pacer_cost_scales_with_sampling(self):
+        """Modeled cost grows monotonically with the sampled fraction."""
+        from repro.trace.events import sbegin, send
+
+        def with_rate(fraction, seed=2):
+            base = random_trace(seed=seed, length=3000)
+            events = []
+            period = 100
+            for i, e in enumerate(base):
+                if i % period == 0:
+                    events.append(
+                        sbegin() if (i // period) % 10 < fraction * 10 else send()
+                    )
+                events.append(e)
+            # normalize: strip invalid alternation by rebuilding
+            out, sampling = [], False
+            for e in events:
+                if e.kind == "sbegin":
+                    if not sampling:
+                        out.append(e)
+                        sampling = True
+                elif e.kind == "send":
+                    if sampling:
+                        out.append(e)
+                        sampling = False
+                else:
+                    out.append(e)
+            p = PacerDetector()
+            p.run(out)
+            return CostModel().cost(p.counters, p.n_threads)
+
+        costs = [with_rate(f) for f in (0.0, 0.3, 1.0)]
+        assert costs[0] < costs[1] < costs[2]

@@ -1,0 +1,58 @@
+"""Text serialization round-trips (LiteRace's offline log format)."""
+
+import pytest
+
+from repro.trace.events import acq, fork, rd, sbegin, send, wr
+from repro.trace.generator import random_trace
+from repro.trace.textio import dump_trace, dumps_trace, load_trace, loads_trace
+
+
+class TestFormat:
+    def test_simple_lines(self):
+        text = dumps_trace([wr(0, 5, 9), sbegin(), rd(1, 5), send()])
+        assert text.splitlines() == ["wr 0 5 9", "sbegin", "rd 1 5", "send"]
+
+    def test_round_trip_random_traces(self):
+        for seed in range(5):
+            trace = random_trace(seed=seed, length=150, sampling_period_prob=0.05)
+            again = loads_trace(dumps_trace(trace))
+            assert again.events == trace.events
+
+    def test_file_round_trip(self, tmp_path):
+        trace = random_trace(seed=3, length=100)
+        path = tmp_path / "trace.log"
+        dump_trace(trace, path)
+        assert load_trace(path).events == trace.events
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\nwr 0 5 9  # trailing comment\n"
+        trace = loads_trace(text)
+        assert trace.events == [wr(0, 5, 9)]
+
+    def test_site_zero_omitted_and_restored(self):
+        text = dumps_trace([rd(2, 7)])
+        assert text.strip() == "rd 2 7"
+        assert loads_trace(text).events == [rd(2, 7)]
+
+
+class TestErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            loads_trace("frobnicate 1 2")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError, match="expected"):
+            loads_trace("wr 0")
+
+    def test_sbegin_with_operands(self):
+        with pytest.raises(ValueError, match="takes no operands"):
+            loads_trace("sbegin 3")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            loads_trace("wr 0 1\nbogus 1 2\n")
+
+    def test_validation_can_be_disabled(self):
+        # an infeasible trace loads with validate=False
+        trace = loads_trace("rel 0 5", validate=False)
+        assert trace.events[0].kind == "rel"

@@ -1,0 +1,127 @@
+"""Trace container and Appendix A feasibility validation."""
+
+import pytest
+
+from repro.trace.events import Event, acq, fork, join, rd, rel, sbegin, send, vol_wr, wr
+from repro.trace.trace import Trace, TraceError
+
+
+class TestTraceBasics:
+    def test_len_iter_getitem(self):
+        t = Trace([wr(0, 1), rd(0, 1)])
+        assert len(t) == 2
+        assert list(t)[0].kind == "wr"
+        assert t[1].kind == "rd"
+
+    def test_summary_sets(self):
+        t = Trace(
+            [fork(0, 1), acq(1, 9), wr(1, 5), rel(1, 9), vol_wr(0, 77), join(0, 1)]
+        )
+        assert t.threads == {0, 1}
+        assert t.variables == {5}
+        assert t.locks == {9}
+        assert t.volatiles == {77}
+        assert t.n_sync_ops == 5
+        assert t.n_accesses == 1
+
+    def test_count(self):
+        t = Trace([wr(0, 1), wr(0, 2), rd(0, 1)])
+        assert t.count("wr") == 2
+
+    def test_of_constructor_validates(self):
+        with pytest.raises(TraceError):
+            Trace.of(rel(0, 5))
+
+
+class TestLockRules:
+    def test_acquire_held_lock_rejected(self):
+        with pytest.raises(TraceError, match="already held"):
+            Trace([fork(0, 1), acq(0, 5), acq(1, 5)]).validate()
+
+    def test_release_unheld_lock_rejected(self):
+        with pytest.raises(TraceError, match="does not hold"):
+            Trace([rel(0, 5)]).validate()
+
+    def test_release_other_threads_lock_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([fork(0, 1), acq(0, 5), rel(1, 5)]).validate()
+
+    def test_reentrant_locking_allowed(self):
+        Trace([acq(0, 5), acq(0, 5), rel(0, 5), rel(0, 5)]).validate()
+
+    def test_reacquire_after_release_allowed(self):
+        Trace([fork(0, 1), acq(0, 5), rel(0, 5), acq(1, 5), rel(1, 5)]).validate()
+
+
+class TestForkJoinRules:
+    def test_fork_self_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([fork(0, 0)]).validate()
+
+    def test_double_fork_rejected(self):
+        with pytest.raises(TraceError, match="forked twice"):
+            Trace([fork(0, 1), fork(0, 1)]).validate()
+
+    def test_act_before_fork_rejected(self):
+        with pytest.raises(TraceError, match="acted before"):
+            Trace([wr(1, 5), fork(0, 1)]).validate()
+
+    def test_act_after_join_rejected(self):
+        with pytest.raises(TraceError, match="after being joined"):
+            Trace([fork(0, 1), join(0, 1), wr(1, 5)]).validate()
+
+    def test_join_twice_rejected(self):
+        with pytest.raises(TraceError, match="joined twice"):
+            Trace([fork(0, 1), join(0, 1), join(0, 1)]).validate()
+
+    def test_join_self_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([join(0, 0)]).validate()
+
+    def test_root_threads_may_act_freely(self):
+        Trace([wr(0, 1), wr(3, 1)]).validate()  # roots never forked
+
+
+class TestSamplingMarkers:
+    def test_alternation_ok(self):
+        Trace([sbegin(), wr(0, 1), send(), sbegin(), send()]).validate()
+
+    def test_nested_sbegin_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([sbegin(), sbegin()]).validate()
+
+    def test_dangling_send_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([send()]).validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([Event("zap", 0, 0, 0)]).validate()
+
+    def test_negative_tid_rejected_for_thread_actions(self):
+        with pytest.raises(TraceError):
+            Trace([Event("wr", -1, 0, 0)]).validate()
+
+    def test_error_carries_index(self):
+        try:
+            Trace([wr(0, 1), rel(0, 5)]).validate()
+        except TraceError as e:
+            assert e.index == 1
+        else:  # pragma: no cover
+            pytest.fail("expected TraceError")
+
+
+class TestConstructors:
+    def test_from_iterable(self):
+        from repro.trace.trace import Trace
+
+        trace = Trace.from_iterable(iter([wr(0, 1), rd(0, 1)]))
+        assert len(trace) == 2
+
+    def test_from_iterable_validates(self):
+        from repro.trace.trace import Trace
+
+        with pytest.raises(TraceError):
+            Trace.from_iterable([rel(0, 5)])
+        # validation can be skipped for intentionally infeasible traces
+        assert len(Trace.from_iterable([rel(0, 5)], validate=False)) == 1

@@ -1,0 +1,144 @@
+"""Unit tests for the vector clock substrate."""
+
+import pytest
+
+from repro.core.clocks import Epoch, MIN_EPOCH, VectorClock, epoch_leq_vc
+
+
+class TestVectorClockBasics:
+    def test_new_clock_is_bottom(self):
+        clock = VectorClock()
+        assert clock.get(0) == 0
+        assert clock.get(17) == 0
+        assert len(clock) == 0
+
+    def test_set_and_get(self):
+        clock = VectorClock()
+        clock.set(3, 7)
+        assert clock.get(3) == 7
+        assert clock.get(2) == 0
+        assert clock.get(4) == 0
+
+    def test_setitem_getitem_aliases(self):
+        clock = VectorClock()
+        clock[2] = 5
+        assert clock[2] == 5
+
+    def test_grows_on_demand(self):
+        clock = VectorClock()
+        clock.set(10, 1)
+        assert len(clock) == 11
+        assert clock.get(9) == 0
+
+    def test_increment(self):
+        clock = VectorClock()
+        clock.increment(1)
+        clock.increment(1)
+        assert clock.get(1) == 2
+        assert clock.get(0) == 0
+
+    def test_items_skips_zeros(self):
+        clock = VectorClock([0, 3, 0, 5])
+        assert list(clock.items()) == [(1, 3), (3, 5)]
+
+    def test_copy_is_independent(self):
+        clock = VectorClock([1, 2])
+        other = clock.copy()
+        other.increment(0)
+        assert clock.get(0) == 1
+        assert other.get(0) == 2
+
+    def test_constructor_copies_input_list(self):
+        values = [1, 2, 3]
+        clock = VectorClock(values)
+        values[0] = 99
+        assert clock.get(0) == 1
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(VectorClock())
+
+
+class TestVectorClockLattice:
+    def test_join_pointwise_max(self):
+        a = VectorClock([1, 5, 0])
+        b = VectorClock([3, 2, 4])
+        a.join(b)
+        assert [a.get(i) for i in range(3)] == [3, 5, 4]
+
+    def test_join_grows_shorter_clock(self):
+        a = VectorClock([1])
+        b = VectorClock([0, 0, 7])
+        a.join(b)
+        assert a.get(2) == 7
+        assert a.get(0) == 1
+
+    def test_join_with_bottom_is_identity(self):
+        a = VectorClock([2, 3])
+        a.join(VectorClock())
+        assert [a.get(i) for i in range(2)] == [2, 3]
+
+    def test_leq_reflexive(self):
+        a = VectorClock([1, 2, 3])
+        assert a.leq(a)
+
+    def test_leq_bottom_below_everything(self):
+        assert VectorClock().leq(VectorClock([5, 5]))
+
+    def test_leq_strict(self):
+        a = VectorClock([1, 2])
+        b = VectorClock([2, 2])
+        assert a.leq(b)
+        assert not b.leq(a)
+
+    def test_leq_incomparable(self):
+        a = VectorClock([2, 0])
+        b = VectorClock([0, 2])
+        assert not a.leq(b)
+        assert not b.leq(a)
+
+    def test_leq_handles_length_difference(self):
+        a = VectorClock([0, 0, 1])
+        b = VectorClock([5])
+        assert not a.leq(b)
+        assert b.leq(VectorClock([5, 0, 1]))
+
+    def test_join_upper_bound(self):
+        a = VectorClock([1, 4])
+        b = VectorClock([3, 2])
+        joined = a.copy()
+        joined.join(b)
+        assert a.leq(joined)
+        assert b.leq(joined)
+
+    def test_equality_ignores_trailing_zeros(self):
+        assert VectorClock([1, 2]) == VectorClock([1, 2, 0, 0])
+        assert VectorClock([1, 2]) != VectorClock([1, 3])
+
+    def test_equality_notimplemented_for_other_types(self):
+        assert VectorClock([1]) != 17
+
+
+class TestEpochs:
+    def test_epoch_of(self):
+        clock = VectorClock([0, 9])
+        assert clock.epoch_of(1) == Epoch(9, 1)
+
+    def test_min_epoch_is_minimal(self):
+        assert MIN_EPOCH.is_minimal
+        assert Epoch(0, 5).is_minimal
+        assert not Epoch(1, 5).is_minimal
+
+    def test_epoch_leq_vc(self):
+        clock = VectorClock([0, 3])
+        assert epoch_leq_vc(Epoch(3, 1), clock)
+        assert not epoch_leq_vc(Epoch(4, 1), clock)
+        assert not epoch_leq_vc(Epoch(1, 2), clock)
+
+    def test_epoch_leq_vc_none_and_minimal(self):
+        clock = VectorClock()
+        assert epoch_leq_vc(None, clock)
+        assert epoch_leq_vc(Epoch(0, 99), clock)
+
+    def test_epoch_str(self):
+        assert str(Epoch(4, 2)) == "4@2"

@@ -1,0 +1,112 @@
+"""Unit tests for version epochs and sharable clocks."""
+
+from repro.core.metadata import SyncMeta, ThreadMeta
+from repro.core.versioning import BOTTOM_VE, SharableClock, TOP_VE, VersionEpoch
+
+
+class TestVersionEpochs:
+    def test_sentinels_are_distinct(self):
+        assert BOTTOM_VE is not TOP_VE
+        assert BOTTOM_VE != TOP_VE
+
+    def test_sentinels_differ_from_real_epochs(self):
+        real = VersionEpoch(3, 1)
+        assert real not in (BOTTOM_VE, TOP_VE)
+
+    def test_version_epoch_fields(self):
+        ve = VersionEpoch(7, 4)
+        assert ve.version == 7 and ve.tid == 4
+
+    def test_str(self):
+        assert str(VersionEpoch(2, 3)) == "v2@3"
+
+
+class TestSharableClock:
+    def test_starts_unshared(self):
+        clock = SharableClock()
+        assert clock.shared is False
+
+    def test_clone_is_deep_and_unshared(self):
+        clock = SharableClock([1, 2])
+        clock.shared = True
+        clone = clock.clone()
+        assert clone.shared is False
+        clone.increment(0)
+        assert clock.get(0) == 1
+        assert clone.get(0) == 2
+
+    def test_copy_aliases_clone(self):
+        clock = SharableClock([5])
+        clock.shared = True
+        assert clock.copy().shared is False
+
+    def test_inherits_vector_clock_ops(self):
+        a = SharableClock([1, 0])
+        b = SharableClock([0, 2])
+        a.join(b)
+        assert a.get(1) == 2
+
+
+class TestMetadataInitialState:
+    def test_thread_meta_equation7(self):
+        # sigma_0: C_t = inc_t(bottom), ver_t = inc_t(bottom)
+        meta = ThreadMeta(3)
+        assert meta.clock.get(3) == 1
+        assert meta.clock.get(0) == 0
+        assert meta.ver.get(3) == 1
+        assert meta.alive
+
+    def test_thread_vepoch(self):
+        meta = ThreadMeta(2)
+        assert meta.vepoch(2) == VersionEpoch(1, 2)
+        meta.ver.increment(2)
+        assert meta.vepoch(2) == VersionEpoch(2, 2)
+
+    def test_sync_meta_initial(self):
+        sync = SyncMeta()
+        assert sync.vepoch is BOTTOM_VE
+        assert len(sync.clock) == 0
+
+
+class TestFootprintReference:
+    def test_reference_footprint_tracks_detector_footprint(self):
+        """metadata.footprint_words is the reference accounting; the
+        detector's own accounting must agree within representation slack
+        and move in the same direction as metadata grows."""
+        from repro.core.metadata import footprint_words
+        from repro.core.pacer import PacerDetector
+        from repro.trace.generator import random_trace
+
+        def reference(d):
+            return footprint_words(
+                d._vars,
+                {t: m.clock for t, m in d._thread.items()},
+                {t: m.ver for t, m in d._thread.items()},
+                {
+                    key: s.clock
+                    for key, s in list(d._lock.items()) + list(d._vol.items())
+                },
+            )
+
+        small = PacerDetector(sampling=True)
+        small.run(random_trace(seed=1, length=50))
+        big = PacerDetector(sampling=True)
+        big.run(random_trace(seed=1, length=800, n_vars=30))
+        for d in (small, big):
+            ref, own = reference(d), d.footprint_words()
+            assert ref > 0 and own > 0
+            assert 0.3 < own / ref < 3.0
+        assert reference(big) > reference(small)
+
+    def test_reference_counts_shared_clocks_once(self):
+        from repro.core.metadata import footprint_words
+        from repro.core.versioning import SharableClock
+        from repro.core.clocks import VectorClock
+
+        clock = SharableClock([1, 2, 3])
+        shared = footprint_words({}, {0: clock, 1: clock}, {}, {2: clock})
+        separate = footprint_words(
+            {}, {0: SharableClock([1, 2, 3]), 1: SharableClock([1, 2, 3])},
+            {}, {2: SharableClock([1, 2, 3])},
+        )
+        assert shared < separate

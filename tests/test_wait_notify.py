@@ -1,0 +1,163 @@
+"""Monitor wait/notify semantics in the simulator."""
+
+import pytest
+
+from repro.detectors import FastTrackDetector
+from repro.sim.program import (
+    Acquire,
+    Fork,
+    Join,
+    Notify,
+    NotifyAll,
+    Program,
+    Read,
+    Release,
+    Wait,
+    Write,
+)
+from repro.sim.scheduler import DeadlockError, run_program
+from repro.sim.workloads import producer_consumer
+from repro.trace.oracle import HBOracle
+
+L, DATA = 100, 1
+
+
+def guarded_pair(use_notify_all=False):
+    """Producer/consumer with the standard condition-loop guard."""
+    ready = {"set": False}
+
+    def consumer(tid):
+        yield Acquire(L)
+        while not ready["set"]:
+            yield Wait(L)
+        yield Read(DATA, site=20)
+        yield Release(L)
+
+    def main(tid):
+        child = yield Fork(consumer)
+        yield Acquire(L)
+        yield Write(DATA, site=10)
+        ready["set"] = True
+        yield (NotifyAll(L) if use_notify_all else Notify(L))
+        yield Release(L)
+        yield Join(child)
+
+    return Program(main)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_guarded_handoff_race_free(self, seed):
+        trace = run_program(guarded_pair(), seed=seed)
+        trace.validate()
+        ft = FastTrackDetector()
+        ft.run(trace)
+        assert ft.races == []
+
+    def test_wait_emits_release_and_reacquire(self):
+        trace = run_program(guarded_pair(), seed=3)
+        # consumer may wait multiple times (spurious-like wakeup ordering
+        # is possible); every wait pairs a release with a later acquire
+        by_thread = {}
+        for e in trace:
+            if e.kind in ("acq", "rel"):
+                by_thread.setdefault(e.tid, []).append(e.kind)
+        for tid, kinds in by_thread.items():
+            assert kinds.count("acq") == kinds.count("rel")
+
+    def test_wait_without_lock_raises(self):
+        def main(tid):
+            yield Wait(L)
+
+        with pytest.raises(RuntimeError, match="does not hold"):
+            run_program(Program(main))
+
+    def test_notify_without_lock_raises(self):
+        def main(tid):
+            yield Notify(L)
+
+        with pytest.raises(RuntimeError, match="does not hold"):
+            run_program(Program(main))
+
+    def test_lost_wakeup_deadlocks(self):
+        """wait() with no guard loop after the notify has passed blocks
+        forever — exactly Java's behaviour — and is reported as deadlock."""
+
+        def consumer(tid):
+            yield Acquire(L)
+            yield Wait(L)  # unguarded: misses an early notify
+            yield Release(L)
+
+        def main(tid):
+            yield Acquire(L)
+            yield Notify(L)  # nobody waiting yet: no-op
+            yield Release(L)
+            child = yield Fork(consumer)
+            yield Join(child)
+
+        with pytest.raises(DeadlockError):
+            run_program(Program(main), seed=0)
+
+    def test_notify_all_wakes_everyone(self):
+        done = {"flag": False}
+
+        def waiter(tid):
+            yield Acquire(L)
+            while not done["flag"]:
+                yield Wait(L)
+            yield Release(L)
+
+        def main(tid):
+            children = []
+            for _ in range(4):
+                children.append((yield Fork(waiter)))
+            yield Acquire(L)
+            done["flag"] = True
+            yield NotifyAll(L)
+            yield Release(L)
+            for child in children:
+                yield Join(child)
+
+        for seed in range(8):
+            run_program(Program(main), seed=seed).validate()
+
+    def test_wait_restores_reentrant_depth(self):
+        ready = {"set": False}
+
+        def consumer(tid):
+            yield Acquire(L)
+            yield Acquire(L)  # depth 2
+            while not ready["set"]:
+                yield Wait(L)  # releases fully, restores depth 2
+            yield Read(DATA, site=20)
+            yield Release(L)
+            yield Release(L)
+
+        def main(tid):
+            child = yield Fork(consumer)
+            yield Acquire(L)
+            yield Write(DATA, site=10)
+            ready["set"] = True
+            yield Notify(L)
+            yield Release(L)
+            yield Join(child)
+
+        for seed in range(8):
+            trace = run_program(Program(main), seed=seed)
+            trace.validate()  # balanced outer acq/rel events
+            ft = FastTrackDetector()
+            ft.run(trace)
+            assert ft.races == []
+
+
+class TestProducerConsumerMicro:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_race_free_any_schedule(self, seed):
+        trace = run_program(producer_consumer(12, 3), seed=seed)
+        trace.validate()
+        assert HBOracle(trace).is_race_free()
+
+    def test_all_items_consumed(self):
+        trace = run_program(producer_consumer(10, 2), seed=1)
+        reads = sum(1 for e in trace if e.kind == "rd" and e.target == 90)
+        assert reads == 10

@@ -1,0 +1,127 @@
+"""Workload calibration against Table 2's characteristics."""
+
+import pytest
+
+from repro import FastTrackDetector
+from repro.analysis.experiments import race_id_of
+from repro.sim.runtime import Runtime, RuntimeConfig
+from repro.sim.scheduler import Scheduler, run_program
+from repro.sim.workloads import (
+    ECLIPSE,
+    HSQLDB,
+    PSEUDOJBB,
+    WORKLOADS,
+    XALAN,
+    build_program,
+)
+
+# (spec, paper's Table 2 totals: total threads, max live)
+TABLE2 = [
+    (ECLIPSE, 16, 8),
+    (HSQLDB, 403, 102),
+    (XALAN, 9, 9),
+    (PSEUDOJBB, 37, 9),
+]
+
+
+class TestThreadStructure:
+    @pytest.mark.parametrize("spec,total,max_live", TABLE2)
+    def test_threads_total(self, spec, total, max_live):
+        assert spec.threads_total == total
+
+    @pytest.mark.parametrize("spec,total,max_live", TABLE2)
+    def test_max_live(self, spec, total, max_live):
+        assert spec.max_live == max_live
+
+    def test_scheduler_agrees_with_spec(self):
+        program = build_program(PSEUDOJBB, trial_seed=0)
+        events = []
+        s = Scheduler(program, seed=0, sink=events.append)
+        s.run()
+        assert s.threads_started == PSEUDOJBB.threads_total
+        assert s.max_live <= PSEUDOJBB.max_live + 1
+
+
+class TestTraceShape:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_feasible_traces(self, name):
+        run_program(build_program(WORKLOADS[name], trial_seed=0), seed=0).validate()
+
+    @pytest.mark.parametrize("name", ["eclipse", "xalan", "pseudojbb"])
+    def test_sync_fraction_near_paper(self, name):
+        trace = run_program(build_program(WORKLOADS[name], trial_seed=1), seed=1)
+        frac = trace.n_sync_ops / (trace.n_sync_ops + trace.n_accesses)
+        assert 0.01 < frac < 0.08  # paper: ~3%
+
+    def test_deterministic_per_trial_seed(self):
+        a = run_program(build_program(ECLIPSE, trial_seed=3), seed=3)
+        b = run_program(build_program(ECLIPSE, trial_seed=3), seed=3)
+        assert a.events == b.events
+
+    def test_trials_differ(self):
+        a = run_program(build_program(ECLIPSE, trial_seed=1), seed=1)
+        b = run_program(build_program(ECLIPSE, trial_seed=2), seed=2)
+        assert a.events != b.events
+
+    def test_method_markers_present(self):
+        trace = run_program(build_program(ECLIPSE, trial_seed=0), seed=0)
+        assert trace.count("m_enter") > 100
+        assert trace.count("m_enter") == trace.count("m_exit")
+
+
+class TestRaces:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_only_injected_races(self, name):
+        """The background (locked + thread-local) traffic never races."""
+        trace = run_program(build_program(WORKLOADS[name], trial_seed=0), seed=0)
+        ft = FastTrackDetector()
+        ft.run(trace)
+        for race in ft.races:
+            assert race_id_of(race) is not None, race
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_frequent_races_found_in_one_trial(self, name):
+        spec = WORKLOADS[name]
+        trace = run_program(build_program(spec, trial_seed=0), seed=0)
+        ft = FastTrackDetector()
+        ft.run(trace)
+        found = {race_id_of(r) for r in ft.races}
+        frequent = [s.race_id for s in spec.racy_sites if s.probability >= 0.05]
+        if frequent:
+            hit = len(found & set(frequent)) / len(frequent)
+            assert hit > 0.5
+
+    def test_rare_races_mostly_absent_per_trial(self):
+        spec = ECLIPSE
+        trace = run_program(build_program(spec, trial_seed=0), seed=0)
+        ft = FastTrackDetector()
+        ft.run(trace)
+        found = {race_id_of(r) for r in ft.races}
+        lowest = min(s.probability for s in spec.racy_sites)
+        rare = {s.race_id for s in spec.racy_sites if s.probability == lowest}
+        assert rare and len(found & rare) < len(rare) / 2
+
+    def test_scaled_copy_shrinks_run(self):
+        small = ECLIPSE.scaled(0.25)
+        assert small.iterations < ECLIPSE.iterations
+        trace = run_program(build_program(small, trial_seed=0), seed=0)
+        full = run_program(build_program(ECLIPSE, trial_seed=0), seed=0)
+        assert len(trace) < len(full)
+
+
+class TestSpecHelpers:
+    def test_distinct_race_ids_enumerates_sites(self):
+        from repro.sim.workloads import ECLIPSE
+
+        ids = ECLIPSE.distinct_race_ids
+        assert len(ids) == len(ECLIPSE.racy_sites) == 77
+        assert ids == sorted(ids)
+
+    def test_racy_site_distinct_keys(self):
+        from repro.sim.workloads import RacySite
+
+        ww = RacySite(3, 0.1, kind="ww")
+        wr_site = RacySite(4, 0.1, kind="wr")
+        assert (ww.writer_site, ww.reader_site) in ww.distinct_keys
+        assert len(wr_site.distinct_keys) == 2
+        assert ww.var != wr_site.var
