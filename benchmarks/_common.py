@@ -14,6 +14,7 @@ from functools import lru_cache
 from typing import Dict, List, Tuple
 
 from repro.analysis import DetectionExperiment
+from repro.analysis.parallel import TrialTask, default_jobs, run_matrix
 from repro.core.pacer import PacerDetector
 from repro.core.sampling import BiasCorrectedController
 from repro.detectors import FastTrackDetector
@@ -23,6 +24,15 @@ from repro.sim.workloads import WORKLOADS, WorkloadSpec, build_program
 from repro.util.config import scale, scaled_trials
 
 QUICK = RuntimeConfig(track_memory=False)
+
+#: worker processes for matrix-style benchmarks; set ``REPRO_JOBS=N`` to
+#: fan trials across a pool (results are identical for any value).
+JOBS = default_jobs()
+
+
+def run_tasks(tasks):
+    """Run :class:`TrialTask` trials honoring the ``REPRO_JOBS`` setting."""
+    return run_matrix(tasks, jobs=JOBS)
 
 #: workload size multipliers for accuracy experiments (hsqldb is heavy)
 ACCURACY_SCALE = {"eclipse": 0.7, "hsqldb": 0.5, "xalan": 0.7, "pseudojbb": 0.7}

@@ -7,6 +7,16 @@ from .experiments import (
     race_id_of,
     run_trial,
 )
+from .parallel import (
+    DETECTOR_FACTORIES,
+    TrialTask,
+    default_jobs,
+    expand_matrix,
+    merge_matrix,
+    run_matrix,
+    run_trial_task,
+    task_seed,
+)
 from .statistics import (
     binomial_ci_contains,
     mean_confidence_interval,
@@ -21,6 +31,14 @@ __all__ = [
     "TrialResult",
     "race_id_of",
     "run_trial",
+    "TrialTask",
+    "DETECTOR_FACTORIES",
+    "task_seed",
+    "expand_matrix",
+    "run_trial_task",
+    "run_matrix",
+    "merge_matrix",
+    "default_jobs",
     "render_table",
     "render_series",
     "fmt",

@@ -1,0 +1,237 @@
+"""Sharded parallel experiment runner.
+
+The evaluation matrix — (workload × detector × sampling rate × seed) —
+is embarrassingly parallel, but only if each trial is deterministic on
+its own: PACER's accuracy claims (§5) are statements about *distributions
+over seeds*, so a run that changes results when fanned across processes
+would be unusable as evidence.  This module makes the fan-out safe by
+construction:
+
+* every trial is described by a picklable, frozen :class:`TrialTask`;
+* all randomness derives from :func:`task_seed`, a CRC-based hash of the
+  task's own fields (never Python's builtin ``hash``, which varies with
+  ``PYTHONHASHSEED``);
+* workers ship back :class:`~repro.core.stats.CoreStats` — the
+  deterministic result core, with wall-clock excluded from equality —
+  keyed by task index, so output order is independent of the number of
+  jobs and of shard scheduling.
+
+``run_matrix(tasks, jobs=N)`` therefore returns *the same list* for any
+``N``; the determinism regression tests pin this.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.pacer import PacerDetector
+from ..core.sampling import BiasCorrectedController
+from ..core.stats import CoreStats, PerfCounters
+from ..detectors import (
+    Detector,
+    DjitPlusDetector,
+    EraserDetector,
+    FastTrackDetector,
+    GenericDetector,
+    GoldilocksDetector,
+    LiteRaceDetector,
+    NullDetector,
+)
+from ..detectors.base import Race
+from ..sim.runtime import Runtime, RuntimeConfig
+from ..sim.workloads.base import WORKLOADS, build_program
+
+__all__ = [
+    "TrialTask",
+    "DETECTOR_FACTORIES",
+    "task_seed",
+    "expand_matrix",
+    "run_trial_task",
+    "run_matrix",
+    "merge_matrix",
+    "default_jobs",
+]
+
+#: name -> zero-argument detector factory (picklable by name, not object)
+DETECTOR_FACTORIES: Dict[str, Callable[[], Detector]] = {
+    "pacer": PacerDetector,
+    "fasttrack": FastTrackDetector,
+    "generic": GenericDetector,
+    "djit": DjitPlusDetector,
+    "goldilocks": GoldilocksDetector,
+    "literace": LiteRaceDetector,
+    "eraser": EraserDetector,
+    "none": NullDetector,
+}
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One cell of the experiment matrix: everything a worker needs."""
+
+    workload: str
+    detector: str
+    rate: Optional[float]  # PACER sampling rate; None for always-on
+    seed: int
+    scale: float = 1.0
+
+
+def task_seed(task: TrialTask) -> int:
+    """Deterministic per-trial RNG seed, stable across processes.
+
+    Derived with CRC32 over the task's canonical text form; Python's
+    builtin ``hash`` is off-limits here because string hashing is
+    randomized per interpreter unless ``PYTHONHASHSEED`` is pinned.
+    """
+    rate_part = "none" if task.rate is None else f"{task.rate:.6f}"
+    text = f"{task.workload}|{task.detector}|{rate_part}|{task.seed}|{task.scale:.6f}"
+    return (zlib.crc32(text.encode("ascii")) << 16) ^ task.seed
+
+
+def expand_matrix(
+    workloads: Iterable[str],
+    detectors: Iterable[str],
+    rates: Iterable[Optional[float]],
+    seeds: Iterable[int],
+    scale: float = 1.0,
+) -> List[TrialTask]:
+    """The full cartesian matrix, in deterministic row-major order.
+
+    ``rates`` entries other than ``None`` only apply to the ``pacer``
+    detector; for always-on detectors the rate axis collapses to one
+    trial (rate ``None``) instead of duplicating identical runs.
+    """
+    tasks: List[TrialTask] = []
+    for workload in workloads:
+        for detector in detectors:
+            det_rates = list(rates) if detector == "pacer" else [None]
+            for rate in det_rates:
+                for seed in seeds:
+                    tasks.append(TrialTask(workload, detector, rate, seed, scale))
+    return tasks
+
+
+def _race_sig(race: Race) -> Tuple:
+    """Full dynamic signature of one race report (exact comparisons)."""
+    return (
+        race.index,
+        race.first_index,
+        race.var,
+        race.kind,
+        race.first_tid,
+        race.first_site,
+        race.second_tid,
+        race.second_site,
+    )
+
+
+def run_trial_task(task: TrialTask) -> CoreStats:
+    """Execute one trial and distill it into a :class:`CoreStats`.
+
+    Pure function of the task: no module-level RNG, no environment
+    dependence, so it yields identical results in-process and in any
+    worker process.
+    """
+    import random
+
+    spec = WORKLOADS[task.workload].scaled(task.scale)
+    factory = DETECTOR_FACTORIES[task.detector]
+    detector = factory()
+    controller = None
+    if task.rate is not None:
+        if task.detector != "pacer":
+            raise ValueError(f"rate only applies to pacer, not {task.detector!r}")
+        controller = BiasCorrectedController(
+            task.rate, rng=random.Random(task_seed(task))
+        )
+    runtime = Runtime(
+        build_program(spec, trial_seed=task.seed),
+        detector,
+        controller=controller,
+        config=RuntimeConfig(track_memory=False),
+        seed=task.seed,
+    )
+    start = time.perf_counter_ns()
+    runtime.run()
+    elapsed = time.perf_counter_ns() - start
+    perf = PerfCounters(events=runtime.events, elapsed_ns=elapsed)
+    perf.merge(detector.perf)
+    return CoreStats(
+        workload=task.workload,
+        detector=task.detector,
+        rate=task.rate,
+        seed=task.seed,
+        events=runtime.events,
+        races=len(detector.races),
+        race_sigs=tuple(_race_sig(r) for r in detector.races),
+        distinct_keys=tuple(sorted(detector.distinct_races)),
+        effective_rate=runtime.effective_sampling_rate,
+        counters=detector.counters.snapshot(),
+        perf=perf,
+    )
+
+
+def _run_shard(shard: List[Tuple[int, TrialTask]]) -> List[Tuple[int, CoreStats]]:
+    """Worker entry point: run one shard, keep the task indices."""
+    return [(index, run_trial_task(task)) for index, task in shard]
+
+
+def default_jobs() -> int:
+    """Job count from ``REPRO_JOBS`` (default 1: sequential, no pool)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def run_matrix(
+    tasks: Sequence[TrialTask],
+    jobs: int = 1,
+    shards_per_job: int = 4,
+) -> List[CoreStats]:
+    """Run the matrix, optionally fanned across a process pool.
+
+    Tasks are dealt round-robin into ``jobs * shards_per_job`` shards
+    (several shards per worker smooths out uneven trial costs), each
+    shard carries its tasks' original indices, and results are sewn back
+    in index order — so the returned list is identical for any ``jobs``
+    value and any shard scheduling, which the determinism tests assert.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [run_trial_task(task) for task in tasks]
+    n_shards = min(len(tasks), jobs * max(1, shards_per_job))
+    shards: List[List[Tuple[int, TrialTask]]] = [[] for _ in range(n_shards)]
+    for index, task in enumerate(tasks):
+        shards[index % n_shards].append((index, task))
+    results: List[Optional[CoreStats]] = [None] * len(tasks)
+    ctx = get_context("spawn" if os.name == "nt" else "fork")
+    with ctx.Pool(processes=jobs) as pool:
+        for pairs in pool.imap_unordered(_run_shard, shards):
+            for index, stats in pairs:
+                results[index] = stats
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:  # pragma: no cover - pool misbehavior
+        raise RuntimeError(f"shards dropped tasks at indices {missing}")
+    return results  # type: ignore[return-value]
+
+
+def merge_matrix(
+    tasks: Sequence[TrialTask],
+    results: Sequence[CoreStats],
+    by: Tuple[str, ...] = ("workload", "detector", "rate"),
+) -> Dict[Tuple, CoreStats]:
+    """Group per-trial results and merge each group's :class:`CoreStats`.
+
+    ``by`` names TrialTask fields; the default folds the seed axis, one
+    merged record per (workload, detector, rate) cell.
+    """
+    groups: Dict[Tuple, List[CoreStats]] = {}
+    for task, stats in zip(tasks, results):
+        key = tuple(getattr(task, field) for field in by)
+        groups.setdefault(key, []).append(stats)
+    return {key: CoreStats.merge(group) for key, group in groups.items()}

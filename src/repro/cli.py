@@ -4,10 +4,14 @@ Commands:
 
 * ``workloads`` — list the bundled synthetic benchmarks.
 * ``record``    — run a workload and write its trace to a file.
-* ``analyze``   — run a detector over a trace file and report races.
+* ``analyze``   — run a detector over a trace file and report races
+  (``--batch`` uses the columnar batched fast path; both print
+  events/sec and ns/event from the detector's perf counters).
 * ``oracle``    — exact happens-before ground truth for a trace file.
 * ``detect``    — run a workload live under a detector (PACER with a
   sampling rate, or any always-on detector).
+* ``matrix``    — run a (workload × detector × rate × seed) experiment
+  matrix, optionally fanned across worker processes with ``--jobs``.
 * ``convert``   — convert traces between the text and binary formats.
 
 Trace file formats are auto-detected (binary traces start with the
@@ -22,6 +26,13 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from .analysis.parallel import (
+    DETECTOR_FACTORIES,
+    default_jobs,
+    expand_matrix,
+    merge_matrix,
+    run_matrix,
+)
 from .analysis.tables import render_table
 from .core.pacer import PacerDetector
 from .core.sampling import BiasCorrectedController
@@ -37,6 +48,7 @@ from .detectors import (
 from .sim.runtime import Runtime, RuntimeConfig
 from .sim.scheduler import run_program
 from .sim.workloads import WORKLOADS, build_program
+from .trace.batch import DEFAULT_BATCH_SIZE
 from .trace.binio import MAGIC, dump_trace_binary, load_trace_binary
 from .trace.oracle import HBOracle
 from .trace.textio import dump_trace, load_trace
@@ -115,7 +127,11 @@ def cmd_record(args) -> int:
 def cmd_analyze(args) -> int:
     trace = _load(Path(args.trace), args.format)
     detector = DETECTORS[args.detector]()
-    detector.run(trace)
+    if args.batch:
+        detector.run_batch(trace, batch_size=args.batch_size)
+    else:
+        detector.run(trace)
+    print(f"perf: {detector.perf.summary()}")
     _print_races(detector, args.limit)
     return 1 if detector.races and args.fail_on_race else 0
 
@@ -163,6 +179,45 @@ def cmd_detect(args) -> int:
     return 0
 
 
+def cmd_matrix(args) -> int:
+    rates = [r / 100.0 for r in args.rates] if args.rates else [None]
+    tasks = expand_matrix(
+        workloads=args.workloads,
+        detectors=args.detectors,
+        rates=rates,
+        seeds=range(args.seeds),
+        scale=args.scale,
+    )
+    results = run_matrix(tasks, jobs=args.jobs)
+    merged = merge_matrix(tasks, results)
+    rows = []
+    for (workload, detector, rate), stats in sorted(merged.items(), key=str):
+        rows.append(
+            [
+                workload,
+                detector,
+                "-" if rate is None else f"{rate:.0%}",
+                stats.events,
+                stats.races,
+                stats.distinct_races,
+                f"{stats.effective_rate:.2%}",
+                f"{stats.perf.events_per_sec:,.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["workload", "detector", "rate", "events", "races",
+             "distinct", "eff rate", "events/s"],
+            rows,
+        )
+    )
+    print(
+        f"{len(tasks)} trials over {args.jobs} job(s); "
+        f"per-trial results are independent of --jobs"
+    )
+    return 0
+
+
 def cmd_convert(args) -> int:
     trace = _load(Path(args.input), "auto")
     _dump(trace, Path(args.output), args.format)
@@ -199,6 +254,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fail-on-race", action="store_true", help="exit 1 if races are found"
     )
+    p.add_argument(
+        "--batch",
+        action="store_true",
+        help="use the columnar batched fast path (identical results)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=DEFAULT_BATCH_SIZE,
+        help="events per batch with --batch",
+    )
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("oracle", help="exact happens-before ground truth")
@@ -217,6 +283,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "matrix", help="run an experiment matrix, optionally in parallel"
+    )
+    p.add_argument(
+        "--workloads", nargs="+", choices=sorted(WORKLOADS),
+        default=sorted(WORKLOADS),
+    )
+    p.add_argument(
+        "--detectors", nargs="+", choices=sorted(DETECTOR_FACTORIES),
+        default=["fasttrack", "pacer"],
+    )
+    p.add_argument(
+        "--rates", nargs="*", type=float, default=[3.0],
+        help="PACER sampling rates in percent (always-on detectors ignore)",
+    )
+    p.add_argument("--seeds", type=int, default=3, help="trials per cell")
+    p.add_argument(
+        "--jobs", type=int, default=default_jobs(),
+        help="worker processes (default: REPRO_JOBS or 1)",
+    )
+    p.add_argument("--scale", type=float, default=0.5)
+    p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

@@ -11,9 +11,9 @@ counts by sampling vs non-sampling period.  The counters also drive:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["OpCounters", "CostModel"]
+__all__ = ["OpCounters", "CostModel", "PerfCounters", "CoreStats"]
 
 
 @dataclass
@@ -94,6 +94,134 @@ class OpCounters:
             + self.writes_slow_nonsampling
             + self.writes_fast_nonsampling
             + self.writes_fast_sampling
+        )
+
+
+@dataclass
+class PerfCounters:
+    """Wall-clock throughput counters for one analysis run.
+
+    Filled in by :meth:`Detector.run` / :meth:`Detector.run_batch` (and
+    by the parallel experiment runner), so speedups are *observed*, not
+    asserted: the CLI and benchmarks print events/sec and ns/event
+    straight from these.
+    """
+
+    events: int = 0
+    elapsed_ns: int = 0
+    batches: int = 0
+    max_batch: int = 0
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.events * 1e9 / self.elapsed_ns
+
+    @property
+    def ns_per_event(self) -> float:
+        if self.events <= 0:
+            return 0.0
+        return self.elapsed_ns / self.events
+
+    @property
+    def mean_batch(self) -> float:
+        if self.batches <= 0:
+            return 0.0
+        return self.events / self.batches
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Accumulate another run's counters in place."""
+        self.events += other.events
+        self.elapsed_ns += other.elapsed_ns
+        self.batches += other.batches
+        self.max_batch = max(self.max_batch, other.max_batch)
+
+    def summary(self) -> str:
+        """One-line human summary (CLI output)."""
+        parts = [
+            f"{self.events} events in {self.elapsed_ns / 1e6:.1f} ms",
+            f"{self.events_per_sec:,.0f} events/s",
+            f"{self.ns_per_event:.0f} ns/event",
+        ]
+        if self.batches:
+            parts.append(
+                f"{self.batches} batches (mean {self.mean_batch:.0f}, "
+                f"max {self.max_batch})"
+            )
+        return ", ".join(parts)
+
+
+@dataclass
+class CoreStats:
+    """The deterministic result core of one (or several merged) trials.
+
+    This is what the sharded experiment runner ships between processes:
+    everything a caller needs to aggregate or compare runs, with the
+    detector's live object graph left behind in the worker.  Equality
+    deliberately ignores wall-clock perf (``compare=False``) so that the
+    same seeds produce *equal* :class:`CoreStats` regardless of how many
+    jobs or shards computed them — the determinism regression tests rely
+    on this.
+    """
+
+    workload: str
+    detector: str
+    rate: Optional[float]
+    seed: int
+    events: int
+    races: int
+    #: full dynamic race signatures, ordered by report time
+    race_sigs: Tuple[Tuple, ...]
+    #: static (first_site, second_site) identities, sorted
+    distinct_keys: Tuple[Tuple[int, int], ...]
+    effective_rate: float
+    counters: Dict[str, int]
+    perf: PerfCounters = field(default_factory=PerfCounters, compare=False)
+
+    @property
+    def distinct_races(self) -> int:
+        return len(self.distinct_keys)
+
+    @classmethod
+    def merge(cls, stats: Sequence["CoreStats"]) -> "CoreStats":
+        """Aggregate several trials into one summary record.
+
+        Counters sum, dynamic race signatures concatenate (in input
+        order), distinct keys union, effective rates average, and perf
+        counters accumulate.  Labels collapse to the common value or
+        ``"*"`` when mixed.
+        """
+        if not stats:
+            raise ValueError("cannot merge zero CoreStats")
+
+        def common(values: Iterable) -> str:
+            unique = {str(v) for v in values}
+            return unique.pop() if len(unique) == 1 else "*"
+
+        counters: Dict[str, int] = {}
+        sigs: List[Tuple] = []
+        keys = set()
+        perf = PerfCounters()
+        for s in stats:
+            for name, value in s.counters.items():
+                counters[name] = counters.get(name, 0) + value
+            sigs.extend(s.race_sigs)
+            keys.update(s.distinct_keys)
+            perf.merge(s.perf)
+        rates = {s.rate for s in stats}
+        return cls(
+            workload=common(s.workload for s in stats),
+            detector=common(s.detector for s in stats),
+            rate=rates.pop() if len(rates) == 1 else None,
+            seed=-1,
+            events=sum(s.events for s in stats),
+            races=sum(s.races for s in stats),
+            race_sigs=tuple(sigs),
+            distinct_keys=tuple(sorted(keys)),
+            effective_rate=sum(s.effective_rate for s in stats) / len(stats),
+            counters=counters,
+            perf=perf,
         )
 
 

@@ -115,9 +115,15 @@ class Wait(Op):
     blocks until a :class:`Notify`/:class:`NotifyAll` on the same lock,
     then reacquires before continuing.  Emits the monitor's release and
     re-acquire as trace events (per the JMM, wait/notify itself adds no
-    happens-before edge beyond the monitor)."""
+    happens-before edge beyond the monitor).
+
+    ``timeout``, if given, is ``m.wait(millis)``: the thread leaves the
+    wait set on its own after that many scheduler steps, reacquires the
+    monitor, and continues — whether or not anyone notified.
+    """
 
     lock: int
+    timeout: Optional[int] = None
 
 
 @dataclass(frozen=True)

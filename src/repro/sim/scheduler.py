@@ -10,11 +10,16 @@ produces realistic access locality), and enforces blocking semantics:
 * ``Acquire`` blocks while another thread holds the lock (reentrancy is
   allowed, and only the outermost acquire/release emit trace events,
   matching Java monitor semantics);
-* ``Join`` blocks until the target thread's generator is exhausted.
+* ``Join`` blocks until the target thread's generator is exhausted;
+* ``Wait``/``Notify`` implement Java monitor wait sets, including
+  ``wait(timeout)``: a timed waiter leaves the wait set when its
+  deadline (in scheduler steps) passes, and a notify can only ever be
+  consumed by a thread still waiting — never by one that timed out.
 
 Determinism: a given (program, seed) pair always yields the same trace.
-Deadlock (no runnable thread while unfinished threads remain) raises
-:class:`DeadlockError` rather than hanging.
+Deadlock (no runnable thread while unfinished threads remain and no
+timed wait is pending) raises :class:`DeadlockError` rather than
+hanging.
 """
 
 from __future__ import annotations
@@ -120,6 +125,7 @@ class Scheduler:
         self._lock_depth: Dict[int, int] = {}
         self._lock_waiters: Dict[int, List[int]] = {}
         self._wait_sets: Dict[int, List[int]] = {}  # wait()ing threads
+        self._wait_deadlines: Dict[int, tuple] = {}  # tid -> (step, lock)
         self._joiners: Dict[int, List[int]] = {}
         self._current: Optional[int] = None
         self.steps = 0
@@ -154,10 +160,19 @@ class Scheduler:
     def run(self) -> None:
         """Run until every thread finishes (or deadlock / step limit)."""
         while True:
+            if self._wait_deadlines:
+                self._expire_timed_waits()
             runnable = self._runnable_set
             if not runnable:
                 if self._unfinished == 0:
                     return
+                if self._wait_deadlines:
+                    # every thread is blocked but a timed wait is still
+                    # pending: advance the clock to its deadline rather
+                    # than reporting a spurious deadlock
+                    earliest = min(d for d, _ in self._wait_deadlines.values())
+                    self.steps = max(self.steps, earliest)
+                    continue
                 raise DeadlockError(
                     "no runnable threads; blocked: "
                     + ", ".join(
@@ -260,6 +275,8 @@ class Scheduler:
             state.pending = _Reacquire(op.lock, depth)
             self._runnable_set.discard(tid)
             self._wait_sets.setdefault(op.lock, []).append(tid)
+            if op.timeout is not None:
+                self._wait_deadlines[tid] = (self.steps + op.timeout, op.lock)
             self._wake_lock_waiters(op.lock)
         elif type(op) is Notify:
             if self._lock_holder.get(op.lock) != tid:
@@ -295,9 +312,43 @@ class Scheduler:
     def _notify_one(self, lock: int, waiters: List[int]) -> None:
         """Move one wait()er to the monitor's entry queue."""
         waiter_tid = waiters.pop(self._rng.randrange(len(waiters)))
+        # claim the waiter's pending timeout: once notified it must not
+        # *also* fire its deadline later (double wake), and conversely a
+        # waiter that already timed out has left `waiters`, so a notify
+        # can never be consumed by a dead entry (lost wakeup)
+        self._wait_deadlines.pop(waiter_tid, None)
         waiter = self._threads[waiter_tid]
         waiter.status = BLOCKED_LOCK  # now competes for the monitor
         self._lock_waiters.setdefault(lock, []).append(waiter_tid)
+
+    def _expire_timed_waits(self) -> None:
+        """Remove waiters whose wait(timeout) deadline has passed.
+
+        An expired waiter leaves the wait set immediately — before any
+        subsequent notify is dispatched, so the notify goes to a thread
+        that is actually still waiting — and proceeds to reacquire the
+        monitor.  If the lock is free it becomes runnable right away;
+        waking it only from :meth:`_wake_lock_waiters` would strand it
+        until a release that may never come.
+        """
+        expired = [
+            tid
+            for tid, (deadline, _) in self._wait_deadlines.items()
+            if deadline <= self.steps
+        ]
+        for tid in expired:
+            _, lock = self._wait_deadlines.pop(tid)
+            waiters = self._wait_sets.get(lock)
+            if not waiters or tid not in waiters:
+                continue  # already claimed by a notify
+            waiters.remove(tid)
+            state = self._threads[tid]
+            if self._lock_holder.get(lock) is None:
+                state.status = RUNNABLE
+                self._runnable_set.add(tid)
+            else:
+                state.status = BLOCKED_LOCK
+                self._lock_waiters.setdefault(lock, []).append(tid)
 
     def _wake_lock_waiters(self, lock: int) -> None:
         for waiter_tid in self._lock_waiters.pop(lock, []):

@@ -1,5 +1,6 @@
 """Trace substrate: events, validation, oracle, generation, serialization."""
 
+from .batch import DEFAULT_BATCH_SIZE, EventBatch, encode_batch, iter_batches
 from .events import Event
 from .generator import GeneratorConfig, race_free_trace, random_trace
 from .oracle import AccessInfo, HBOracle, RacePair
@@ -10,12 +11,17 @@ from .binio import (
     loads_binary,
 )
 from .textio import dump_trace, dumps_trace, load_trace, loads_trace
-from .trace import Trace, TraceError
+from .trace import Trace, TraceError, TraceFormatError
 
 __all__ = [
     "Event",
+    "EventBatch",
+    "encode_batch",
+    "iter_batches",
+    "DEFAULT_BATCH_SIZE",
     "Trace",
     "TraceError",
+    "TraceFormatError",
     "HBOracle",
     "AccessInfo",
     "RacePair",

@@ -1,0 +1,122 @@
+"""Columnar (struct-of-arrays) event batches for the analysis fast path.
+
+The scalar pipeline hands every event to :meth:`Detector.apply` as an
+:class:`~repro.trace.events.Event`, paying per event for a dispatch-table
+lookup, a trampoline call, and several attribute accesses.  At paper
+scale (10⁹ events) that per-event overhead dominates analysis time.
+
+An :class:`EventBatch` stores a run of events as four parallel integer
+arrays — kind ids (see :data:`~repro.trace.events.KIND_TO_ID`), thread
+ids, targets, and sites — so a detector's batched loop can walk plain
+``int`` columns with no per-event object construction and no virtual
+dispatch.  :func:`iter_batches` chops any event iterable into batches;
+:meth:`Detector.run_batch` drives them.
+
+Batches are an *encoding*, not a semantic change: iterating a batch
+yields exactly the :class:`Event` records it was built from, and the
+differential test suite (``tests/test_batch_differential.py``) holds the
+batched and scalar pipelines to identical race reports, counters, and
+metadata footprints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from .events import Event, ID_TO_KIND, KIND_TO_ID
+
+__all__ = ["EventBatch", "encode_batch", "iter_batches", "DEFAULT_BATCH_SIZE"]
+
+#: Default number of events per batch.  Large enough to amortize the
+#: per-batch setup (local rebinding of hot attributes), small enough to
+#: keep the working set cache-friendly and progress observable.
+DEFAULT_BATCH_SIZE = 4096
+
+
+class EventBatch:
+    """A fixed run of events in columnar form.
+
+    ``kinds`` holds small integer kind ids; ``tids``, ``targets`` and
+    ``sites`` the corresponding operand columns.  All four lists have the
+    same length.  The batch iterates as :class:`Event` records, so any
+    scalar consumer accepts a batch wherever it accepts events.
+    """
+
+    __slots__ = ("kinds", "tids", "targets", "sites")
+
+    def __init__(
+        self,
+        kinds: Sequence[int],
+        tids: Sequence[int],
+        targets: Sequence[int],
+        sites: Sequence[int],
+    ) -> None:
+        if not (len(kinds) == len(tids) == len(targets) == len(sites)):
+            raise ValueError("batch columns must have equal length")
+        self.kinds: List[int] = list(kinds)
+        self.tids: List[int] = list(tids)
+        self.targets: List[int] = list(targets)
+        self.sites: List[int] = list(sites)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "EventBatch":
+        """Encode events into one batch (raises on unknown kinds).
+
+        Events are tuples, so ``zip(*events)`` transposes rows into the
+        four columns at C speed and ``map`` translates the kind column
+        through the id table without a per-event Python frame.
+        """
+        rows = events if isinstance(events, (list, tuple)) else list(events)
+        if not rows:
+            return cls([], [], [], [])
+        kind_names, tids, targets, sites = zip(*rows)
+        try:
+            kinds = list(map(KIND_TO_ID.__getitem__, kind_names))
+        except KeyError as exc:
+            raise ValueError(f"unknown event kind: {exc.args[0]!r}") from None
+        batch = cls.__new__(cls)
+        batch.kinds = kinds
+        batch.tids = list(tids)
+        batch.targets = list(targets)
+        batch.sites = list(sites)
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def __iter__(self) -> Iterator[Event]:
+        id_to_kind = ID_TO_KIND
+        for kid, tid, target, site in zip(
+            self.kinds, self.tids, self.targets, self.sites
+        ):
+            yield Event(id_to_kind[kid], tid, target, site)
+
+    def to_events(self) -> List[Event]:
+        """Decode back into a list of :class:`Event` records."""
+        return list(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"EventBatch({len(self)} events)"
+
+
+def encode_batch(events: Iterable[Event]) -> EventBatch:
+    """Encode an entire event iterable as a single batch."""
+    return EventBatch.from_events(events)
+
+
+def iter_batches(
+    events: Iterable[Event], batch_size: int = DEFAULT_BATCH_SIZE
+) -> Iterator[EventBatch]:
+    """Chop an event iterable into :class:`EventBatch` chunks.
+
+    A pre-encoded :class:`EventBatch` passes through unchanged (one
+    batch), so callers can encode once and replay many times.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if isinstance(events, EventBatch):
+        yield events
+        return
+    rows = events if isinstance(events, (list, tuple)) else list(events)
+    for start in range(0, len(rows), batch_size):
+        yield EventBatch.from_events(rows[start:start + batch_size])

@@ -10,40 +10,33 @@ with a small header for integrity:
     event count       varint
     events            kind-id varint, tid+1 varint, target varint, site varint
 
-``sbegin``/``send`` encode only their kind id.  The format round-trips
-exactly and rejects corrupt or truncated input with clear errors.
+Kind ids are the canonical numbering in
+:data:`repro.trace.events.KIND_TO_ID`.  ``sbegin``/``send`` encode only
+their kind id.  The format round-trips exactly; truncated or corrupt
+input raises :class:`~repro.trace.trace.TraceFormatError` (with the byte
+offset of the problem) rather than yielding garbage events.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Tuple, Union
 
-from .events import Event, SBEGIN, SEND
-from .trace import Trace
+from .events import Event, ID_TO_KIND, KIND_TO_ID, SBEGIN, SEND
+from .trace import Trace, TraceFormatError
 
 __all__ = ["dump_trace_binary", "load_trace_binary", "dumps_binary", "loads_binary"]
 
 MAGIC = b"PACR"
 VERSION = 1
 
-#: stable kind numbering for the wire format
-_KIND_TO_ID = {
-    "rd": 0,
-    "wr": 1,
-    "acq": 2,
-    "rel": 3,
-    "fork": 4,
-    "join": 5,
-    "vol_rd": 6,
-    "vol_wr": 7,
-    "sbegin": 8,
-    "send": 9,
-    "m_enter": 10,
-    "m_exit": 11,
-    "alloc": 12,
-}
-_ID_TO_KIND = {v: k for k, v in _KIND_TO_ID.items()}
+_N_KINDS = len(ID_TO_KIND)
+_SBEGIN_ID = KIND_TO_ID[SBEGIN]
+_SEND_ID = KIND_TO_ID[SEND]
+
+# historical aliases from when the numbering lived in this module
+_KIND_TO_ID = KIND_TO_ID
+_ID_TO_KIND = ID_TO_KIND
 
 
 def _write_varint(out: bytearray, value: int) -> None:
@@ -59,12 +52,12 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
-def _read_varint(data: bytes, pos: int) -> tuple:
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
     result = 0
     shift = 0
     while True:
         if pos >= len(data):
-            raise ValueError("truncated varint")
+            raise TraceFormatError(f"truncated varint at byte {pos}")
         byte = data[pos]
         pos += 1
         result |= (byte & 0x7F) << shift
@@ -72,7 +65,7 @@ def _read_varint(data: bytes, pos: int) -> tuple:
             return result, pos
         shift += 7
         if shift > 63:
-            raise ValueError("varint too long")
+            raise TraceFormatError(f"varint longer than 64 bits at byte {pos}")
 
 
 def dumps_binary(events: Iterable[Event]) -> bytes:
@@ -83,12 +76,16 @@ def dumps_binary(events: Iterable[Event]) -> bytes:
     out.append(VERSION)
     _write_varint(out, len(events))
     for e in events:
-        kind_id = _KIND_TO_ID.get(e.kind)
+        kind_id = KIND_TO_ID.get(e.kind)
         if kind_id is None:
             raise ValueError(f"unknown event kind {e.kind!r}")
         _write_varint(out, kind_id)
         if e.kind in (SBEGIN, SEND):
             continue
+        if e.tid < -1:
+            raise ValueError(f"cannot encode tid {e.tid}")
+        if e.target < 0:
+            raise ValueError(f"cannot encode negative target {e.target}")
         # tids are >= 0 for thread actions; alloc's site may carry a
         # signed live-delta, zig-zag encode it
         _write_varint(out, e.tid + 1)
@@ -98,30 +95,40 @@ def dumps_binary(events: Iterable[Event]) -> bytes:
 
 
 def loads_binary(data: bytes, validate: bool = True) -> Trace:
-    """Parse the binary format into a :class:`Trace`."""
+    """Parse the binary format into a :class:`Trace`.
+
+    Raises :class:`TraceFormatError` on any structural problem and (when
+    ``validate`` is on) :class:`~repro.trace.trace.TraceError` if the
+    decoded events are not a feasible trace.
+    """
     if data[:4] != MAGIC:
-        raise ValueError("not a PACR binary trace (bad magic)")
+        raise TraceFormatError("not a PACR binary trace (bad magic)")
     if len(data) < 5:
-        raise ValueError("truncated header")
+        raise TraceFormatError("truncated header")
     if data[4] != VERSION:
-        raise ValueError(f"unsupported version {data[4]}")
+        raise TraceFormatError(f"unsupported version {data[4]}")
     count, pos = _read_varint(data, 5)
+    if count > len(data) - pos:
+        # every event record is at least one byte, so a count beyond the
+        # remaining payload is corrupt — reject before looping over it
+        raise TraceFormatError(
+            f"event count {count} exceeds remaining payload ({len(data) - pos} bytes)"
+        )
     events: List[Event] = []
     for _ in range(count):
         kind_id, pos = _read_varint(data, pos)
-        kind = _ID_TO_KIND.get(kind_id)
-        if kind is None:
-            raise ValueError(f"unknown kind id {kind_id}")
-        if kind in (SBEGIN, SEND):
-            events.append(Event(kind, -1, 0, 0))
+        if kind_id >= _N_KINDS:
+            raise TraceFormatError(f"unknown kind id {kind_id} at byte {pos}")
+        if kind_id == _SBEGIN_ID or kind_id == _SEND_ID:
+            events.append(Event(ID_TO_KIND[kind_id], -1, 0, 0))
             continue
         tid_plus, pos = _read_varint(data, pos)
         target, pos = _read_varint(data, pos)
         zigzag, pos = _read_varint(data, pos)
         site = (zigzag >> 1) ^ -(zigzag & 1)
-        events.append(Event(kind, tid_plus - 1, target, site))
+        events.append(Event(ID_TO_KIND[kind_id], tid_plus - 1, target, site))
     if pos != len(data):
-        raise ValueError(f"{len(data) - pos} trailing bytes after events")
+        raise TraceFormatError(f"{len(data) - pos} trailing bytes after events")
     trace = Trace(events)
     if validate:
         trace.validate()

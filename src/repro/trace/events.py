@@ -32,6 +32,8 @@ __all__ = [
     "KINDS",
     "SYNC_KINDS",
     "ACCESS_KINDS",
+    "KIND_TO_ID",
+    "ID_TO_KIND",
     "Event",
     "rd",
     "wr",
@@ -82,6 +84,30 @@ SYNC_KINDS = frozenset({ACQUIRE, RELEASE, FORK, JOIN, VOL_READ, VOL_WRITE})
 
 #: Kinds that access data variables and may race.
 ACCESS_KINDS = frozenset({READ, WRITE})
+
+#: Canonical small-integer numbering of the event alphabet.  This is the
+#: single source of truth for every packed representation of a trace:
+#: the binary wire format (:mod:`repro.trace.binio`) and the columnar
+#: in-memory batches (:mod:`repro.trace.batch`) both index by it, so a
+#: batch can be built straight from decoded records without re-mapping.
+KIND_TO_ID = {
+    READ: 0,
+    WRITE: 1,
+    ACQUIRE: 2,
+    RELEASE: 3,
+    FORK: 4,
+    JOIN: 5,
+    VOL_READ: 6,
+    VOL_WRITE: 7,
+    SBEGIN: 8,
+    SEND: 9,
+    METHOD_ENTER: 10,
+    METHOD_EXIT: 11,
+    ALLOC: 12,
+}
+
+#: Inverse of :data:`KIND_TO_ID` as a list indexable by kind id.
+ID_TO_KIND = [k for k, _ in sorted(KIND_TO_ID.items(), key=lambda kv: kv[1])]
 
 
 class Event(NamedTuple):

@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import Iterable, List, TextIO, Union
 
 from .events import Event, KINDS, SBEGIN, SEND
-from .trace import Trace
+from .trace import Trace, TraceFormatError
 
 __all__ = ["dump_trace", "load_trace", "dumps_trace", "loads_trace"]
 
@@ -33,17 +33,22 @@ def _parse_line(line: str, lineno: int) -> Event:
     parts = line.split()
     kind = parts[0]
     if kind not in KINDS:
-        raise ValueError(f"line {lineno}: unknown event kind {kind!r}")
+        raise TraceFormatError(f"line {lineno}: unknown event kind {kind!r}")
     if kind in (SBEGIN, SEND):
         if len(parts) != 1:
-            raise ValueError(f"line {lineno}: {kind} takes no operands")
+            raise TraceFormatError(f"line {lineno}: {kind} takes no operands")
         return Event(kind, -1, 0, 0)
     if len(parts) not in (3, 4):
-        raise ValueError(
+        raise TraceFormatError(
             f"line {lineno}: expected '<kind> <tid> <target> [site]', got {line!r}"
         )
-    tid, target = int(parts[1]), int(parts[2])
-    site = int(parts[3]) if len(parts) == 4 else 0
+    try:
+        tid, target = int(parts[1]), int(parts[2])
+        site = int(parts[3]) if len(parts) == 4 else 0
+    except ValueError:
+        raise TraceFormatError(
+            f"line {lineno}: non-integer operand in {line!r}"
+        ) from None
     return Event(kind, tid, target, site)
 
 

@@ -36,7 +36,7 @@ from .events import (
     WRITE,
 )
 
-__all__ = ["Trace", "TraceError"]
+__all__ = ["Trace", "TraceError", "TraceFormatError"]
 
 
 class TraceError(ValueError):
@@ -46,6 +46,16 @@ class TraceError(ValueError):
         self.index = index
         self.event = event
         super().__init__(f"event {index} ({event}): {message}")
+
+
+class TraceFormatError(ValueError):
+    """A serialized trace is malformed (truncated, corrupt, or not a trace).
+
+    Raised by the text and binary loaders for *format*-level problems, as
+    opposed to :class:`TraceError`, which flags a well-formed event
+    sequence that is not feasible.  Both subclass :class:`ValueError`, so
+    ``except ValueError`` catches any failed load.
+    """
 
 
 @dataclass

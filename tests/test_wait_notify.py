@@ -13,6 +13,7 @@ from repro.sim.program import (
     Read,
     Release,
     Wait,
+    Work,
     Write,
 )
 from repro.sim.scheduler import DeadlockError, run_program
@@ -148,6 +149,159 @@ class TestSemantics:
             ft = FastTrackDetector()
             ft.run(trace)
             assert ft.races == []
+
+
+class TestTimedWait:
+    """wait(timeout) semantics: the notify-vs-timeout race must neither
+    lose wakeups nor report spurious deadlocks."""
+
+    def test_timed_wait_expires_without_notify(self):
+        """A timed waiter with no notifier in sight wakes up on its own;
+        before the expiry path existed this was a spurious DeadlockError
+        (the waiter sat in the wait set forever with the lock free)."""
+
+        def consumer(tid):
+            yield Acquire(L)
+            yield Wait(L, timeout=25)  # nobody will ever notify
+            yield Read(DATA, site=20)
+            yield Release(L)
+
+        def main(tid):
+            child = yield Fork(consumer)
+            yield Join(child)
+
+        for seed in range(10):
+            trace = run_program(Program(main), seed=seed)
+            trace.validate()
+            assert sum(1 for e in trace if e.kind == "rd") == 1
+
+    def test_timed_wait_expires_while_lock_held(self):
+        """Expiry with the monitor occupied queues the waiter on the
+        lock; it resumes at the next release, not never."""
+
+        def consumer(tid):
+            yield Acquire(L)
+            yield Wait(L, timeout=2)
+            yield Read(DATA, site=20)
+            yield Release(L)
+
+        def holder(tid):
+            yield Acquire(L)
+            for _ in range(40):  # hold the monitor across the deadline
+                yield Read(DATA + 1, site=30)
+            yield Release(L)
+
+        def main(tid):
+            a = yield Fork(consumer)
+            b = yield Fork(holder)
+            yield Join(a)
+            yield Join(b)
+
+        for seed in range(10):
+            run_program(Program(main), seed=seed).validate()
+
+    def test_notify_not_lost_on_timed_out_waiter(self):
+        """Two waiters: one timed (expires before the notify), one
+        untimed.  The single notify must reach the *live* waiter — if
+        the expired thread still occupied its wait-set slot the notify
+        would be consumed by a dead entry and the untimed waiter would
+        deadlock."""
+        ready = {"set": False}
+
+        def timed(tid):
+            yield Acquire(L)
+            if not ready["set"]:
+                yield Wait(L, timeout=1)  # gives up almost immediately
+            yield Release(L)
+
+        def untimed(tid):
+            yield Acquire(L)
+            while not ready["set"]:
+                yield Wait(L)
+            yield Read(DATA, site=20)
+            yield Release(L)
+
+        def main(tid):
+            a = yield Fork(timed)
+            b = yield Fork(untimed)
+            for _ in range(200):  # let the timed wait expire first
+                yield Work()
+            yield Acquire(L)
+            yield Write(DATA, site=10)
+            ready["set"] = True
+            yield Notify(L)  # exactly one notify for the one live waiter
+            yield Release(L)
+            yield Join(a)
+            yield Join(b)
+
+        for seed in range(10):
+            trace = run_program(Program(main), seed=seed)
+            trace.validate()
+
+    def test_notified_waiter_does_not_double_wake(self):
+        """A waiter that is notified before its timeout must consume the
+        notify normally and never re-enter the entry queue when the stale
+        deadline passes."""
+        ready = {"set": False}
+
+        def consumer(tid):
+            yield Acquire(L)
+            while not ready["set"]:
+                yield Wait(L, timeout=10_000)  # notify always wins
+            yield Read(DATA, site=20)
+            yield Release(L)
+
+        def main(tid):
+            child = yield Fork(consumer)
+            yield Acquire(L)
+            yield Write(DATA, site=10)
+            ready["set"] = True
+            yield Notify(L)
+            yield Release(L)
+            yield Join(child)
+            for _ in range(50):  # run past the stale deadline
+                yield Work()
+
+        for seed in range(10):
+            trace = run_program(Program(main), seed=seed)
+            trace.validate()
+            ft = FastTrackDetector()
+            ft.run(trace)
+            assert ft.races == []
+
+    def test_all_blocked_on_timed_wait_fast_forwards(self):
+        """When every live thread is in a timed wait the scheduler jumps
+        to the earliest deadline instead of raising DeadlockError."""
+
+        def sleeper(tid):
+            yield Acquire(L)
+            yield Wait(L, timeout=1_000)
+            yield Release(L)
+
+        def main(tid):
+            child = yield Fork(sleeper)
+            yield Acquire(L + 1)
+            yield Wait(L + 1, timeout=2_000)
+            yield Release(L + 1)
+            yield Join(child)
+
+        for seed in range(5):
+            run_program(Program(main), seed=seed).validate()
+
+    def test_timed_wait_is_deterministic(self):
+        def consumer(tid):
+            yield Acquire(L)
+            yield Wait(L, timeout=7)
+            yield Read(DATA, site=20)
+            yield Release(L)
+
+        def main(tid):
+            child = yield Fork(consumer)
+            yield Join(child)
+
+        first = list(run_program(Program(main), seed=4))
+        second = list(run_program(Program(main), seed=4))
+        assert first == second
 
 
 class TestProducerConsumerMicro:
