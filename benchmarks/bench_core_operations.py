@@ -169,8 +169,85 @@ def smoke() -> int:
     return 0
 
 
+# -- observability-disabled overhead ------------------------------------------
+
+
+def obs_disabled_overhead(size=0.5, repeats=3):
+    """[(label, n_events, baseline ev/s, run_batch ev/s, ratio), ...]
+
+    ``baseline`` drives ``apply_batch`` directly — the batched hot loop
+    with no observer hooks at all, i.e. the pre-observability shape of
+    ``run_batch``.  ``run_batch`` with no observer attached must stay
+    within a few percent of it: its only additions are one
+    ``observer is None`` check per batch and the perf accounting.
+    """
+    rows = []
+    for label, factory, build in BATCH_CONFIGS:
+        events = build(size)
+        encoded = encode_batch(events)
+
+        def baseline(factory=factory):
+            det = factory()
+            start = time.perf_counter_ns()
+            det.apply_batch(encoded)
+            return len(events) * 1e9 / max(1, time.perf_counter_ns() - start)
+
+        def disabled(factory=factory):
+            det = factory()  # observer slot stays None
+            det.run_batch(encoded)
+            return det.perf.events_per_sec
+
+        base = _best_rate(baseline, repeats)
+        dis = _best_rate(disabled, repeats)
+        rows.append((label, len(events), base, dis, dis / base))
+    return rows
+
+
+def _print_obs_overhead(rows):
+    print(render_table(
+        ["detector", "events", "baseline ev/s", "run_batch ev/s", "ratio"],
+        [[label, n, f"{base:,.0f}", f"{dis:,.0f}", f"{ratio:.3f}"]
+         for label, n, base, dis, ratio in rows],
+    ))
+
+
+#: run_batch with no observer must keep >= 95% of the raw loop's rate
+OBS_GATE_RATIO = 0.95
+
+
+def obs_gate() -> int:
+    """CI gate: disabled observability costs < 5% replay throughput."""
+    rows = obs_disabled_overhead(size=0.3, repeats=3)
+    print_banner("Observability-disabled throughput gate")
+    _print_obs_overhead(rows)
+    slow = [label for label, _, _, _, ratio in rows if ratio < OBS_GATE_RATIO]
+    if slow:
+        print(f"FAIL: disabled-observer run_batch below {OBS_GATE_RATIO:.0%} "
+              f"of the uninstrumented loop for {slow}")
+        return 1
+    print(f"OK: disabled-observer run_batch within "
+          f"{(1 - OBS_GATE_RATIO):.0%} of the uninstrumented loop")
+    return 0
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_disabled_overhead(benchmark):
+    rows = benchmark.pedantic(obs_disabled_overhead, rounds=1, iterations=1)
+    print_banner("Observability-disabled overhead (replay throughput)")
+    _print_obs_overhead(rows)
+    for label, _, _, _, ratio in rows:
+        assert ratio >= OBS_GATE_RATIO, (label, ratio)
+
+
 if __name__ == "__main__":
-    if "--smoke" in sys.argv[1:]:
-        sys.exit(smoke())
-    print("usage: bench_core_operations.py --smoke  (or run under pytest)")
+    argv = sys.argv[1:]
+    if "--smoke" in argv or "--obs-gate" in argv:
+        code = 0
+        if "--smoke" in argv:
+            code = smoke() or code
+        if "--obs-gate" in argv:
+            code = obs_gate() or code
+        sys.exit(code)
+    print("usage: bench_core_operations.py --smoke | --obs-gate "
+          "(or run under pytest)")
     sys.exit(2)

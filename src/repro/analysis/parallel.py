@@ -52,6 +52,7 @@ __all__ = [
     "task_seed",
     "expand_matrix",
     "run_trial_task",
+    "trial_metrics",
     "run_matrix",
     "merge_matrix",
     "default_jobs",
@@ -161,6 +162,7 @@ def run_trial_task(task: TrialTask) -> CoreStats:
     elapsed = time.perf_counter_ns() - start
     perf = PerfCounters(events=runtime.events, elapsed_ns=elapsed)
     perf.merge(detector.perf)
+    metrics = trial_metrics(runtime, detector)
     return CoreStats(
         workload=task.workload,
         detector=task.detector,
@@ -173,7 +175,39 @@ def run_trial_task(task: TrialTask) -> CoreStats:
         effective_rate=runtime.effective_sampling_rate,
         counters=detector.counters.snapshot(),
         perf=perf,
+        metrics=metrics,
     )
+
+
+def trial_metrics(runtime: Runtime, detector: Detector) -> Dict[str, int]:
+    """Deterministic end-of-run observability metrics for one trial.
+
+    Everything here is a function of (workload, detector, rate, seed) —
+    never of wall-clock time — so shipped between shards and merged with
+    :func:`repro.obs.metrics.merge_metric_dicts` the result is
+    byte-identical for any ``--jobs`` value.  ``max_``-prefixed keys
+    take the maximum under merge; the rest sum.
+    """
+    gc_log = runtime.gc_log
+    periods = sum(
+        1
+        for i, (_, sampling) in enumerate(gc_log)
+        if sampling and (i == 0 or not gc_log[i - 1][1])
+    )
+    return {
+        "events": runtime.events,
+        "gc_count": len(gc_log),
+        "sampling_periods": periods,
+        "sync_total": runtime.sync_total,
+        "sync_sampled": runtime.sync_sampled,
+        "context_switches": runtime.context_switches,
+        "scheduler_steps": runtime.scheduler_steps,
+        "threads_started": runtime.threads_started,
+        "max_live_threads": runtime.max_live_threads,
+        "footprint_words_final": detector.footprint_words(),
+        "live_vars_final": detector.tracked_variables,
+        "max_clock_entries": detector.max_clock_entries(),
+    }
 
 
 def _run_shard(shard: List[Tuple[int, TrialTask]]) -> List[Tuple[int, CoreStats]]:

@@ -10,17 +10,25 @@ Commands:
 * ``oracle``    — exact happens-before ground truth for a trace file.
 * ``detect``    — run a workload live under a detector (PACER with a
   sampling rate, or any always-on detector).
+* ``profile``   — run a workload live with full observability: metrics
+  snapshot (``metrics.json``), virtual-time probe timeline
+  (``timeline.jsonl``), and a Chrome-trace/Perfetto profile
+  (``profile.trace.json``, loadable in ui.perfetto.dev).
 * ``matrix``    — run a (workload × detector × rate × seed) experiment
   matrix, optionally fanned across worker processes with ``--jobs``.
 * ``convert``   — convert traces between the text and binary formats.
 
-Trace file formats are auto-detected (binary traces start with the
-``PACR`` magic); ``--format`` forces one.
+``analyze`` and ``matrix`` accept ``--json`` for machine-readable output
+(races + counters + metrics), and ``analyze``/``detect``/``matrix`` all
+take ``--metrics-out``/``--trace-out`` (plus ``--timeline-out`` where a
+single run produces a timeline).  Trace file formats are auto-detected
+(binary traces start with the ``PACR`` magic); ``--format`` forces one.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from pathlib import Path
@@ -36,6 +44,8 @@ from .analysis.parallel import (
 from .analysis.tables import render_table
 from .core.pacer import PacerDetector
 from .core.sampling import BiasCorrectedController
+from .obs import RunObserver, matrix_trace_events, write_chrome_trace
+from .obs.observer import DEFAULT_SAMPLE_EVERY
 from .detectors import (
     Detector,
     DjitPlusDetector,
@@ -99,6 +109,103 @@ def _print_races(detector: Detector, limit: int) -> None:
         print(f"... and {len(detector.races) - limit} more (raise --limit)")
 
 
+# -- observability plumbing ---------------------------------------------------
+
+
+def _wants_observer(args) -> bool:
+    return bool(
+        getattr(args, "json", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "timeline_out", None)
+        or getattr(args, "trace_out", None)
+    )
+
+
+def _make_observer(args) -> Optional[RunObserver]:
+    """An observer when any observability output was requested, else None
+    (the disabled path: detectors see a single untaken branch)."""
+    if not _wants_observer(args):
+        return None
+    return RunObserver(
+        sample_every=getattr(args, "sample_every", None) or DEFAULT_SAMPLE_EVERY
+    )
+
+
+def _write_obs_outputs(obs: Optional[RunObserver], args, quiet: bool = False) -> None:
+    if obs is None:
+        return
+    if getattr(args, "metrics_out", None):
+        obs.write_metrics(Path(args.metrics_out))
+        if not quiet:
+            print(f"wrote metrics snapshot to {args.metrics_out}")
+    if getattr(args, "timeline_out", None):
+        obs.write_timeline(Path(args.timeline_out))
+        if not quiet:
+            print(f"wrote probe timeline to {args.timeline_out}")
+    if getattr(args, "trace_out", None):
+        obs.write_trace(Path(args.trace_out))
+        if not quiet:
+            print(
+                f"wrote Perfetto trace to {args.trace_out} "
+                f"(open in ui.perfetto.dev)"
+            )
+
+
+def _add_obs_arguments(
+    p,
+    metrics_default: Optional[str] = None,
+    timeline_default: Optional[str] = None,
+    trace_default: Optional[str] = None,
+) -> None:
+    """Attach the shared observability flags to a subparser."""
+    p.add_argument(
+        "--metrics-out", default=metrics_default, metavar="PATH",
+        help="write a deterministic metrics snapshot as JSON",
+    )
+    p.add_argument(
+        "--timeline-out", default=timeline_default, metavar="PATH",
+        help="write the virtual-time probe timeline as JSONL",
+    )
+    p.add_argument(
+        "--trace-out", default=trace_default, metavar="PATH",
+        help="write a Chrome-trace/Perfetto profile (load in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--sample-every", type=int, default=DEFAULT_SAMPLE_EVERY, metavar="N",
+        help="virtual-time distance between detector-state probes "
+        f"(default {DEFAULT_SAMPLE_EVERY})",
+    )
+
+
+def _race_dict(race) -> Dict:
+    return {
+        "var": race.var,
+        "kind": race.kind,
+        "first_tid": race.first_tid,
+        "first_clock": race.first_clock,
+        "first_site": race.first_site,
+        "second_tid": race.second_tid,
+        "second_site": race.second_site,
+        "index": race.index,
+        "first_index": race.first_index,
+    }
+
+
+def _perf_dict(perf) -> Dict:
+    return {
+        "events": perf.events,
+        "elapsed_ns": perf.elapsed_ns,
+        "batches": perf.batches,
+        "max_batch": perf.max_batch,
+        "events_per_sec": round(perf.events_per_sec, 1),
+        "ns_per_event": round(perf.ns_per_event, 1),
+    }
+
+
+def _print_json(doc: Dict) -> None:
+    print(json.dumps(doc, indent=2, sort_keys=True))
+
+
 # -- commands -----------------------------------------------------------------
 
 
@@ -127,12 +234,34 @@ def cmd_record(args) -> int:
 def cmd_analyze(args) -> int:
     trace = _load(Path(args.trace), args.format)
     detector = DETECTORS[args.detector]()
+    obs = _make_observer(args)
+    if obs is not None:
+        obs.attach(detector)
     if args.batch:
         detector.run_batch(trace, batch_size=args.batch_size)
     else:
         detector.run(trace)
-    print(f"perf: {detector.perf.summary()}")
-    _print_races(detector, args.limit)
+    if obs is not None:
+        obs.finalize(detector)
+    if args.json:
+        _print_json(
+            {
+                "command": "analyze",
+                "trace": args.trace,
+                "detector": detector.name,
+                "events": detector.perf.events,
+                "races": [_race_dict(r) for r in detector.races],
+                "distinct_races": sorted(detector.distinct_races),
+                "counters": detector.counters.snapshot(),
+                "metrics": obs.registry.snapshot() if obs is not None else None,
+                "perf": _perf_dict(detector.perf),
+            }
+        )
+        _write_obs_outputs(obs, args, quiet=True)
+    else:
+        print(f"perf: {detector.perf.summary()}")
+        _print_races(detector, args.limit)
+        _write_obs_outputs(obs, args)
     return 1 if detector.races and args.fail_on_race else 0
 
 
@@ -165,17 +294,65 @@ def cmd_detect(args) -> int:
         controller = BiasCorrectedController(
             args.rate / 100.0, rng=random.Random(args.seed)
         )
+    obs = _make_observer(args)
     runtime = Runtime(
         build_program(spec, args.seed),
         detector,
         controller=controller,
         config=RuntimeConfig(track_memory=False),
         seed=args.seed,
+        observer=obs,
     )
     runtime.run()
     if controller is not None:
         print(f"effective sampling rate: {runtime.effective_sampling_rate:.2%}")
     _print_races(detector, args.limit)
+    _write_obs_outputs(obs, args)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run a workload live with full observability and write all sinks."""
+    spec = WORKLOADS[args.workload].scaled(args.scale)
+    detector = DETECTORS[args.detector]()
+    controller = None
+    if args.detector == "pacer":
+        rate = 10.0 if args.rate is None else args.rate
+        controller = BiasCorrectedController(
+            rate / 100.0, rng=random.Random(args.seed)
+        )
+    elif args.rate is not None:
+        print("--rate only applies to the pacer detector", file=sys.stderr)
+        return 2
+    obs = RunObserver(sample_every=args.sample_every)
+    runtime = Runtime(
+        build_program(spec, args.seed),
+        detector,
+        controller=controller,
+        config=RuntimeConfig(),
+        seed=args.seed,
+        observer=obs,
+    )
+    runtime.run()
+    periods = obs.sampling_periods()
+    sampled_vt = sum(end - begin for begin, end in periods)
+    print(
+        f"{detector.name} on {args.workload}: {runtime.events} events, "
+        f"{len(detector.races)} race reports "
+        f"({len(detector.distinct_races)} distinct)"
+    )
+    if controller is not None:
+        print(
+            f"sampling: {len(periods)} periods covering {sampled_vt} of "
+            f"{runtime.events} events "
+            f"(effective rate {runtime.effective_sampling_rate:.2%})"
+        )
+    print(
+        f"probes: {len(obs.timeline)} timeline samples, "
+        f"{len(runtime.gc_log)} GC boundaries, "
+        f"{runtime.context_switches} context switches"
+    )
+    _write_obs_outputs(obs, args)
     return 0
 
 
@@ -190,6 +367,45 @@ def cmd_matrix(args) -> int:
     )
     results = run_matrix(tasks, jobs=args.jobs)
     merged = merge_matrix(tasks, results)
+    if args.metrics_out:
+        _write_matrix_metrics(Path(args.metrics_out), merged)
+        if not args.json:
+            print(f"wrote merged metrics snapshot to {args.metrics_out}")
+    if args.trace_out:
+        write_chrome_trace(
+            Path(args.trace_out), matrix_trace_events(zip(tasks, results))
+        )
+        if not args.json:
+            print(
+                f"wrote matrix coverage trace to {args.trace_out} "
+                f"(open in ui.perfetto.dev)"
+            )
+    if args.json:
+        cells = []
+        for (workload, detector, rate), stats in sorted(merged.items(), key=str):
+            cells.append(
+                {
+                    "workload": workload,
+                    "detector": detector,
+                    "rate": rate,
+                    "events": stats.events,
+                    "races": stats.races,
+                    "distinct_races": stats.distinct_races,
+                    "effective_rate": round(stats.effective_rate, 6),
+                    "counters": stats.counters,
+                    "metrics": stats.metrics,
+                    "perf": _perf_dict(stats.perf),
+                }
+            )
+        _print_json(
+            {
+                "command": "matrix",
+                "trials": len(tasks),
+                "jobs": args.jobs,
+                "cells": cells,
+            }
+        )
+        return 0
     rows = []
     for (workload, detector, rate), stats in sorted(merged.items(), key=str):
         rows.append(
@@ -216,6 +432,31 @@ def cmd_matrix(args) -> int:
         f"per-trial results are independent of --jobs"
     )
     return 0
+
+
+def _write_matrix_metrics(path: Path, merged) -> None:
+    """Write the merged per-cell metrics as deterministic JSON.
+
+    Only trace-determined values appear (``CoreStats.metrics``,
+    counters, race counts — never wall-clock perf), so the file is
+    byte-identical for any ``--jobs`` value; the obs test suite pins
+    this.
+    """
+    cells = {}
+    for (workload, detector, rate), stats in merged.items():
+        key = f"{workload}/{detector}/{'-' if rate is None else rate}"
+        cells[key] = {
+            "events": stats.events,
+            "races": stats.races,
+            "distinct_races": stats.distinct_races,
+            "effective_rate": round(stats.effective_rate, 9),
+            "counters": stats.counters,
+            "metrics": stats.metrics,
+        }
+    doc = {"command": "matrix", "cells": cells}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def cmd_convert(args) -> int:
@@ -265,6 +506,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BATCH_SIZE,
         help="events per batch with --batch",
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: races + counters + metrics",
+    )
+    _add_obs_arguments(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("oracle", help="exact happens-before ground truth")
@@ -282,7 +528,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--limit", type=int, default=20)
+    _add_obs_arguments(p)
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a workload with full observability (metrics, timeline, "
+        "Perfetto trace)",
+    )
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    p.add_argument("--detector", choices=sorted(DETECTORS), default="pacer")
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="PACER sampling rate in percent (default 10 for pacer)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=float, default=1.0)
+    _add_obs_arguments(
+        p,
+        metrics_default="metrics.json",
+        timeline_default="timeline.jsonl",
+        trace_default="profile.trace.json",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "matrix", help="run an experiment matrix, optionally in parallel"
@@ -305,6 +573,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: REPRO_JOBS or 1)",
     )
     p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: per-cell races + counters + metrics",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the merged, jobs-independent metrics snapshot as JSON",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto coverage trace of the matrix (one span per trial)",
+    )
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("convert", help="convert between trace formats")

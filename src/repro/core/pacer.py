@@ -186,10 +186,16 @@ class PacerDetector(Detector):
         self.sampling = True
         for tid, meta in self._thread.items():
             self._inc(meta, tid)
+        obs = self.observer
+        if obs is not None:
+            obs.on_sampling(True, self._events_seen)
 
     def end_sampling(self) -> None:
         """Leave a sampling period; time stops advancing."""
         self.sampling = False
+        obs = self.observer
+        if obs is not None:
+            obs.on_sampling(False, self._events_seen)
 
     # -- synchronization operations ------------------------------------------------
 
@@ -598,6 +604,18 @@ class PacerDetector(Detector):
     def tracked_variables(self) -> int:
         """Number of variables with live metadata (space proxy)."""
         return len(self._vars)
+
+    def max_clock_entries(self) -> int:
+        """Largest live vector clock across threads and sync objects."""
+        best = 0
+        for meta in self._thread.values():
+            if len(meta.clock) > best:
+                best = len(meta.clock)
+        for table in (self._lock, self._vol):
+            for sync in table.values():
+                if len(sync.clock) > best:
+                    best = len(sync.clock)
+        return best
 
     def footprint_words(self) -> int:
         """Live metadata footprint; shared clocks are counted once."""

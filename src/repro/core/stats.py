@@ -178,6 +178,11 @@ class CoreStats:
     effective_rate: float
     counters: Dict[str, int]
     perf: PerfCounters = field(default_factory=PerfCounters, compare=False)
+    #: deterministic observability metrics (repro.obs): GC counts,
+    #: context switches, final footprints, ...  Excluded from equality
+    #: like ``perf`` (older pickles/tests omit it), but byte-identical
+    #: across job counts by construction — the obs tests pin that.
+    metrics: Dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def distinct_races(self) -> int:
@@ -199,6 +204,8 @@ class CoreStats:
             unique = {str(v) for v in values}
             return unique.pop() if len(unique) == 1 else "*"
 
+        from ..obs.metrics import merge_metric_dicts
+
         counters: Dict[str, int] = {}
         sigs: List[Tuple] = []
         keys = set()
@@ -209,6 +216,7 @@ class CoreStats:
             sigs.extend(s.race_sigs)
             keys.update(s.distinct_keys)
             perf.merge(s.perf)
+        metrics = merge_metric_dicts(s.metrics for s in stats)
         rates = {s.rate for s in stats}
         return cls(
             workload=common(s.workload for s in stats),
@@ -222,6 +230,7 @@ class CoreStats:
             effective_rate=sum(s.effective_rate for s in stats) / len(stats),
             counters=counters,
             perf=perf,
+            metrics=metrics,
         )
 
 

@@ -95,6 +95,10 @@ class Detector:
         self.races: List[Race] = []
         self.counters = OpCounters()
         self.perf = PerfCounters()
+        #: optional :class:`repro.obs.RunObserver`; every instrumentation
+        #: site guards on ``observer is None`` so the disabled path costs
+        #: exactly one branch
+        self.observer = None
         self._events_seen = 0
         self._threads: Set[int] = set()
         self._dispatch: Dict[str, Callable[[Event], None]] = {
@@ -130,11 +134,20 @@ class Detector:
 
     def run(self, events: Iterable[Event]) -> List[Race]:
         """Analyze a whole trace; returns the accumulated race list."""
+        obs = self.observer
         start = time.perf_counter_ns()
         count = 0
-        for event in events:
-            self.apply(event)
-            count += 1
+        if obs is None:
+            for event in events:
+                self.apply(event)
+                count += 1
+        else:
+            cadence = obs.sample_every
+            for event in events:
+                self.apply(event)
+                count += 1
+                if count % cadence == 0:
+                    obs.on_events(self, self._events_seen)
         self.perf.elapsed_ns += time.perf_counter_ns() - start
         self.perf.events += count
         return self.races
@@ -152,17 +165,24 @@ class Detector:
         inlined loop.  ``events`` may be any event iterable or an already
         encoded :class:`EventBatch`.
         """
+        obs = self.observer
         start = time.perf_counter_ns()
         count = 0
         batches = 0
         max_batch = 0
+        batch_start = start
         for batch in iter_batches(events, batch_size):
+            first_vt = self._events_seen
             self.apply_batch(batch)
             n = len(batch)
             count += n
             batches += 1
             if n > max_batch:
                 max_batch = n
+            if obs is not None:
+                now = time.perf_counter_ns()
+                obs.on_batch(self, first_vt, n, now - batch_start)
+                batch_start = time.perf_counter_ns()
         perf = self.perf
         perf.elapsed_ns += time.perf_counter_ns() - start
         perf.events += count
@@ -202,6 +222,32 @@ class Detector:
         """Live metadata footprint in words; subclasses refine this."""
         return 0
 
+    @property
+    def tracked_variables(self) -> int:
+        """Number of variables with live metadata; subclasses refine this."""
+        return 0
+
+    def max_clock_entries(self) -> int:
+        """Largest live vector clock, in entries; subclasses refine this."""
+        return 0
+
+    def obs_sample(self) -> Dict[str, int]:
+        """One observability probe of live analysis state.
+
+        Called by :class:`repro.obs.RunObserver` at probe boundaries —
+        never per event — so subclasses may do O(live metadata) work
+        here.  All values must be deterministic functions of the trace.
+        """
+        words = self.footprint_words()
+        return {
+            "footprint_words": words,
+            "meta_bytes": words * 4,
+            "live_vars": self.tracked_variables,
+            "vc_max": self.max_clock_entries(),
+            "races": len(self.races),
+            "threads": len(self._threads),
+        }
+
     # -- typed events (subclass responsibilities) ---------------------------
 
     def read(self, tid: int, var: int, site: int = 0) -> None:
@@ -229,10 +275,18 @@ class Detector:
         raise NotImplementedError
 
     def begin_sampling(self) -> None:
-        """Enter a global sampling period (no-op for always-on detectors)."""
+        """Enter a global sampling period (analysis no-op for always-on
+        detectors; the observer still records the square wave)."""
+        obs = self.observer
+        if obs is not None:
+            obs.on_sampling(True, self._events_seen)
 
     def end_sampling(self) -> None:
-        """Leave a global sampling period (no-op for always-on detectors)."""
+        """Leave a global sampling period (analysis no-op for always-on
+        detectors; the observer still records the square wave)."""
+        obs = self.observer
+        if obs is not None:
+            obs.on_sampling(False, self._events_seen)
 
     def method_enter(self, tid: int, method: int) -> None:
         """Method-entry hook (used by LiteRace; default no-op)."""

@@ -320,6 +320,20 @@ class FastTrackDetector(Detector):
 
     # -- accounting ----------------------------------------------------------
 
+    @property
+    def tracked_variables(self) -> int:
+        """Number of variables with live metadata (space proxy)."""
+        return len(self._vars)
+
+    def max_clock_entries(self) -> int:
+        """Largest live vector clock across threads, locks, volatiles."""
+        best = 0
+        for table in (self._thread_clock, self._lock_clock, self._vol_clock):
+            for clock in table.values():
+                if len(clock) > best:
+                    best = len(clock)
+        return best
+
     def footprint_words(self) -> int:
         total = 0
         for state in self._vars.values():

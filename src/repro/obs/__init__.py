@@ -1,0 +1,40 @@
+"""``repro.obs`` — always-available, near-zero-cost observability.
+
+Three layers (see ``docs/OBSERVABILITY.md`` for the full catalog):
+
+* :mod:`repro.obs.metrics` — a deterministic registry of counters,
+  gauges, and fixed-bucket histograms with labeled series and JSON
+  snapshot sinks;
+* :mod:`repro.obs.observer` — :class:`RunObserver`, the probe driver
+  that samples detector state on virtual time into ``timeline.jsonl``
+  and collects spans;
+* :mod:`repro.obs.perfetto` — Chrome trace-event / Perfetto JSON export
+  (``repro profile`` writes a file loadable in ``ui.perfetto.dev``).
+
+Disabled-path contract: every hook site in the detectors, scheduler, and
+runtime guards on ``observer is None`` with a single branch, and the
+differential tests pin that an attached observer never changes races,
+counters, or metadata.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_metric_dicts
+from .observer import RunObserver
+from .perfetto import (
+    chrome_trace,
+    matrix_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunObserver",
+    "chrome_trace",
+    "matrix_trace_events",
+    "merge_metric_dicts",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,227 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+The registry is the always-available accounting substrate of the
+observability layer (``repro.obs``).  Design constraints, in order:
+
+* **Determinism.**  Every metric the registry holds is a function of the
+  analyzed trace, never of wall-clock time — so a snapshot serialized
+  with :meth:`MetricsRegistry.to_json` is *byte-identical* across runs,
+  process counts, and shard schedules.  Wall-clock performance lives in
+  :class:`~repro.core.stats.PerfCounters` and in Perfetto span ``args``,
+  deliberately outside the registry.
+* **Mergeability.**  Shards ship snapshots between processes; counters
+  and histogram buckets sum, gauges keep the maximum (they sample
+  high-water state).  ``merge`` is associative and commutative, so the
+  result is independent of shard scheduling.
+* **Near-zero cost when unused.**  Instruments are plain attribute
+  updates; the hot detector loops never touch the registry directly —
+  they check one ``observer is None`` branch (see ``repro.obs.observer``).
+
+Series are identified by a metric name plus a sorted label set, rendered
+``name{k=v,k2=v2}`` — the Prometheus exposition convention, chosen so
+snapshots diff cleanly in CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_metric_dicts",
+    "series_key",
+]
+
+
+def series_key(name: str, labels: Mapping[str, object]) -> str:
+    """Canonical series id: ``name`` or ``name{k=v,...}`` with sorted keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level; ``set`` overwrites, ``high`` is the peak."""
+
+    __slots__ = ("value", "high")
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+        self.high = value
+
+    def set(self, value: int) -> None:
+        self.value = value
+        if value > self.high:
+            self.high = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``buckets`` are inclusive upper bounds.
+
+    An implicit overflow bucket catches observations above the last
+    bound.  Bounds are fixed at construction so shard merges are plain
+    element-wise sums.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "total")
+
+    #: default bounds: powers of two, suited to batch/event-size shapes
+    DEFAULT_BUCKETS: Tuple[int, ...] = tuple(2 ** i for i in range(17))
+
+    def __init__(self, buckets: Optional[Sequence[int]] = None) -> None:
+        bounds = tuple(buckets) if buckets else self.DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # first bound >= value
+            mid = (lo + hi) // 2
+            if self.buckets[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of metric series with deterministic snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) ------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = series_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = series_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[int]] = None, **labels: object
+    ) -> Histogram:
+        key = series_key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(buckets)
+        return inst
+
+    # -- bulk helpers -------------------------------------------------------
+
+    def count_many(self, name: str, values: Mapping[str, int], label: str) -> None:
+        """Set one labeled counter per entry of ``values`` (absolute)."""
+        for key, value in values.items():
+            self.counter(name, **{label: key}).value = value
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain, JSON-ready dict of every series, sorted by key."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {
+                k: {"value": g.value, "high": g.high}
+                for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Deterministic JSON text (sorted keys, fixed separators)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    # -- merge --------------------------------------------------------------
+
+    def merge_snapshot(self, snap: Mapping[str, Mapping]) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets sum; gauges keep the maximum of
+        ``value`` and ``high`` (merged gauges answer "how high did any
+        shard get", the only question that survives aggregation).
+        """
+        for key, value in snap.get("counters", {}).items():
+            self.counter(key).inc(value)
+        for key, g in snap.get("gauges", {}).items():
+            gauge = self.gauge(key)
+            gauge.value = max(gauge.value, g["value"])
+            gauge.high = max(gauge.high, g["high"])
+        for key, h in snap.get("histograms", {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(h["buckets"])
+            if list(hist.buckets) != list(h["buckets"]):
+                raise ValueError(f"histogram bucket mismatch for {key!r}")
+            for i, c in enumerate(h["counts"]):
+                hist.counts[i] += c
+            hist.count += h["count"]
+            hist.total += h["total"]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_snapshot(other.snapshot())
+
+
+def merge_metric_dicts(dicts: Iterable[Mapping[str, int]]) -> Dict[str, int]:
+    """Merge flat per-trial metric dicts (CoreStats.metrics).
+
+    Keys prefixed ``max_`` keep the maximum across trials; everything
+    else sums.  Deterministic: output keys are sorted.
+    """
+    merged: Dict[str, int] = {}
+    for d in dicts:
+        for key, value in d.items():
+            if key.startswith("max_"):
+                merged[key] = max(merged.get(key, value), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return {k: merged[k] for k in sorted(merged)}

@@ -1,0 +1,235 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Renders one detector run as a trace loadable in ``ui.perfetto.dev`` (or
+``chrome://tracing``): sampling periods as spans, per-batch dispatch as
+slices, scheduler thread lifetimes as per-thread spans, and the probe
+samples as counter tracks.
+
+Timestamps are **virtual**: one microsecond per trace event (detector
+tracks) or per scheduler step (scheduler tracks).  Virtual time is what
+PACER's claims are stated in — "overhead proportional to r" is a
+statement about work per *event*, not per wall second — and it makes the
+exported trace deterministic.  Wall-clock nanoseconds, where measured,
+ride along in span ``args`` (``wall_ns``, ``ns_per_event``) so a profile
+still shows where real time goes inside the batched hot loops.
+
+The JSON object format is the Trace Event Format's; only the event
+phases below are emitted:
+
+* ``M`` — process/thread names,
+* ``X`` — complete spans (``ts`` + ``dur``),
+* ``C`` — counter samples (``args`` maps series name to value),
+* ``i`` — instants (GC pulses, timed-wait clock jumps).
+
+:func:`validate_chrome_trace` checks those structural rules; the test
+suite and the CI smoke job run every exported trace through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "PID_DETECTOR",
+    "PID_SCHEDULER",
+    "chrome_trace",
+    "counter_event",
+    "instant_event",
+    "matrix_trace_events",
+    "span_event",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: process ids used in exported traces
+PID_DETECTOR = 1
+PID_SCHEDULER = 2
+
+#: detector-process track (tid) layout
+TID_PHASES = 0
+TID_SAMPLING = 1
+TID_DISPATCH = 2
+
+
+def meta_event(name: str, value: str, pid: int, tid: int = 0) -> Dict:
+    return {
+        "ph": "M",
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": value},
+    }
+
+
+def span_event(
+    name: str,
+    ts: int,
+    dur: int,
+    pid: int,
+    tid: int,
+    cat: str = "repro",
+    args: Optional[Mapping] = None,
+) -> Dict:
+    return {
+        "ph": "X",
+        "name": name,
+        "cat": cat,
+        "ts": ts,
+        "dur": max(dur, 1),  # zero-width spans are invisible in the UI
+        "pid": pid,
+        "tid": tid,
+        "args": dict(args or {}),
+    }
+
+
+def counter_event(name: str, ts: int, value, pid: int = PID_DETECTOR) -> Dict:
+    return {
+        "ph": "C",
+        "name": name,
+        "cat": "repro",
+        "ts": ts,
+        "pid": pid,
+        "args": {"value": value},
+    }
+
+
+def instant_event(
+    name: str, ts: int, pid: int, tid: int = 0, args: Optional[Mapping] = None
+) -> Dict:
+    return {
+        "ph": "i",
+        "name": name,
+        "cat": "repro",
+        "ts": ts,
+        "pid": pid,
+        "tid": tid,
+        "s": "t",  # thread-scoped instant
+        "args": dict(args or {}),
+    }
+
+
+def process_metadata() -> List[Dict]:
+    """Name the fixed processes/tracks every exported run shares."""
+    return [
+        meta_event("process_name", "detector", PID_DETECTOR),
+        meta_event("thread_name", "phases", PID_DETECTOR, TID_PHASES),
+        meta_event("thread_name", "sampling", PID_DETECTOR, TID_SAMPLING),
+        meta_event("thread_name", "dispatch", PID_DETECTOR, TID_DISPATCH),
+        meta_event("process_name", "scheduler", PID_SCHEDULER),
+    ]
+
+
+def chrome_trace(events: Iterable[Dict], other_data: Optional[Mapping] = None) -> Dict:
+    """Wrap trace events in the JSON-object-format envelope."""
+    doc = {
+        "traceEvents": list(events),
+        "displayTimeUnit": "ms",
+    }
+    if other_data:
+        doc["otherData"] = dict(other_data)
+    return doc
+
+
+def write_chrome_trace(path, events: Iterable[Dict], other_data=None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events, other_data), fh, sort_keys=True)
+        fh.write("\n")
+
+
+def matrix_trace_events(cells) -> List[Dict]:
+    """Spans for a whole experiment matrix, one track per detector.
+
+    ``cells`` is an iterable of ``(task, stats)`` pairs (see
+    ``repro.analysis.parallel``).  Each trial becomes a span whose width
+    is its event count, laid head-to-tail per (workload, detector) track
+    — a coverage map of the matrix, not a timing profile.
+    """
+    events: List[Dict] = [meta_event("process_name", "matrix", PID_DETECTOR)]
+    tracks: Dict[Tuple[str, str], int] = {}
+    cursors: Dict[int, int] = {}
+    for task, stats in cells:
+        key = (task.workload, task.detector)
+        tid = tracks.get(key)
+        if tid is None:
+            tid = tracks[key] = len(tracks) + 1
+            events.append(
+                meta_event("thread_name", f"{key[0]}/{key[1]}", PID_DETECTOR, tid)
+            )
+        ts = cursors.get(tid, 0)
+        rate = "-" if task.rate is None else f"{task.rate:.2%}"
+        events.append(
+            span_event(
+                f"{task.workload}/{task.detector} seed={task.seed}",
+                ts,
+                stats.events,
+                PID_DETECTOR,
+                tid,
+                cat="trial",
+                args={
+                    "seed": task.seed,
+                    "rate": rate,
+                    "events": stats.events,
+                    "races": stats.races,
+                    "distinct": stats.distinct_races,
+                },
+            )
+        )
+        cursors[tid] = ts + max(stats.events, 1)
+    return events
+
+
+# -- validation ---------------------------------------------------------------
+
+_REQUIRED_BY_PHASE = {
+    "M": ("name", "pid", "args"),
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "C": ("name", "ts", "pid", "args"),
+    "i": ("name", "ts", "pid"),
+}
+
+
+def validate_chrome_trace(doc) -> List[str]:
+    """Structural validation against the trace-event JSON object format.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is loadable.  Checks the envelope, per-phase required
+    fields, numeric/non-negative timestamps and durations, and that
+    counter samples carry numeric values.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _REQUIRED_BY_PHASE:
+            problems.append(f"{where}: unknown or missing phase {ph!r}")
+            continue
+        for key in _REQUIRED_BY_PHASE[ph]:
+            if key not in ev:
+                problems.append(f"{where}: phase {ph!r} missing {key!r}")
+        for key in ("ts", "dur"):
+            value = ev.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float)) or value < 0
+            ):
+                problems.append(f"{where}: {key}={value!r} must be a number >= 0")
+        for key in ("pid", "tid"):
+            value = ev.get(key)
+            if value is not None and not isinstance(value, int):
+                problems.append(f"{where}: {key}={value!r} must be an int")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter needs non-empty args")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append(f"{where}: counter args must be numeric")
+    return problems

@@ -80,12 +80,20 @@ class Runtime:
         config: Optional[RuntimeConfig] = None,
         seed: int = 0,
         count_headers: bool = True,
+        observer=None,
     ) -> None:
         self.detector = detector
         self.controller = controller
         self.config = config or RuntimeConfig()
         self.count_headers = count_headers
-        self._scheduler = Scheduler(program, seed=seed, sink=self._on_event)
+        #: optional :class:`repro.obs.RunObserver` — also attached to the
+        #: detector and scheduler so one observer sees the whole run
+        self.observer = observer
+        if observer is not None:
+            observer.attach(detector)
+        self._scheduler = Scheduler(
+            program, seed=seed, sink=self._on_event, observer=observer
+        )
         self._sampling = False
         self._allocated = 0
         self._last_meta_words = 0
@@ -143,6 +151,11 @@ class Runtime:
                     self.detector.apply(Event(SEND, -1, 0, 0))
                 self._sampling = next_sampling
         self.gc_log.append((self._events, self._sampling))
+        if self.observer is not None:
+            # GC boundaries are the live path's probe cadence: they are
+            # deterministic in (program, seed) and they bracket exactly
+            # the points where sampling decisions happen.
+            self.observer.on_gc(self.detector, self._events)
         if self.config.track_memory and self._gc_count % self.config.full_gc_every == 0:
             self._snapshot()
 
@@ -176,6 +189,9 @@ class Runtime:
             self._sync_this_period = 0
         if self.config.track_memory:
             self._snapshot()
+        if self.observer is not None:
+            self.observer.on_phase("run", 0, self._events)
+            self.observer.finalize(self.detector, self._events)
         return self.detector
 
     @property
@@ -191,6 +207,14 @@ class Runtime:
     @property
     def threads_started(self) -> int:
         return self._scheduler.threads_started
+
+    @property
+    def context_switches(self) -> int:
+        return self._scheduler.context_switches
+
+    @property
+    def scheduler_steps(self) -> int:
+        return self._scheduler.steps
 
     @property
     def max_live_threads(self) -> int:

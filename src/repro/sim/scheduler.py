@@ -92,6 +92,7 @@ class _ThreadState:
     pending: Optional[Op] = None  # op that blocked and must be retried
     send_value: Optional[int] = None  # value to send into the generator
     waiting_for: int = -1
+    start_step: int = 0  # scheduler step at spawn (observability spans)
 
 
 class Scheduler:
@@ -111,12 +112,18 @@ class Scheduler:
         sink: Optional[Callable[[Event], None]] = None,
         work_hook: Optional[Callable[[int], None]] = None,
         max_steps: int = 50_000_000,
+        observer=None,
     ) -> None:
         self._rng = random.Random(seed)
         self.stickiness = stickiness
         self.sink = sink or (lambda event: None)
         self.work_hook = work_hook
         self.max_steps = max_steps
+        #: optional :class:`repro.obs.RunObserver`; receives per-thread
+        #: lifetime spans and timed-wait clock jumps.  Never consulted in
+        #: the per-step hot path beyond thread finish/spawn events.
+        self.observer = observer
+        self.context_switches = 0
         self._threads: Dict[int, _ThreadState] = {}
         self._runnable_set: Set[int] = set()
         self._unfinished = 0
@@ -139,7 +146,7 @@ class Scheduler:
     def _spawn(self, body) -> int:
         tid = self._next_tid
         self._next_tid += 1
-        state = _ThreadState(tid=tid, gen=body(tid))
+        state = _ThreadState(tid=tid, gen=body(tid), start_step=self.steps)
         self._threads[tid] = state
         self._runnable_set.add(tid)
         self._unfinished += 1
@@ -150,6 +157,8 @@ class Scheduler:
     def _finish(self, state: _ThreadState) -> None:
         state.status = FINISHED
         self._unfinished -= 1
+        if self.observer is not None:
+            self.observer.on_thread_span(state.tid, state.start_step, self.steps)
         for waiter_tid in self._joiners.pop(state.tid, []):
             waiter = self._threads[waiter_tid]
             waiter.status = RUNNABLE
@@ -165,6 +174,8 @@ class Scheduler:
             runnable = self._runnable_set
             if not runnable:
                 if self._unfinished == 0:
+                    if self.observer is not None:
+                        self.observer.on_phase("scheduler", 0, self.steps)
                     return
                 if self._wait_deadlines:
                     # every thread is blocked but a timed wait is still
@@ -172,6 +183,8 @@ class Scheduler:
                     # than reporting a spurious deadlock
                     earliest = min(d for d, _ in self._wait_deadlines.values())
                     self.steps = max(self.steps, earliest)
+                    if self.observer is not None:
+                        self.observer.on_clock_jump(self.steps)
                     continue
                 raise DeadlockError(
                     "no runnable threads; blocked: "
@@ -189,6 +202,8 @@ class Scheduler:
                 tid = self._current
             else:
                 tid = self._rng.choice(tuple(runnable))
+            if tid != self._current:
+                self.context_switches += 1
             self._current = tid
             self._step(self._threads[tid])
             self.steps += 1

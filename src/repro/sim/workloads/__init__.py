@@ -4,6 +4,7 @@ from .base import RacySite, WorkloadSpec, WORKLOADS, build_program
 from .eclipse import ECLIPSE
 from .hsqldb import HSQLDB
 from .micro import (
+    MICRO,
     counter_race,
     producer_consumer,
     fork_join_tree,
@@ -20,6 +21,7 @@ WORKLOADS.update(
         "hsqldb": HSQLDB,
         "xalan": XALAN,
         "pseudojbb": PSEUDOJBB,
+        "micro": MICRO,
     }
 )
 
@@ -32,6 +34,7 @@ __all__ = [
     "HSQLDB",
     "XALAN",
     "PSEUDOJBB",
+    "MICRO",
     "counter_race",
     "producer_consumer",
     "lock_ping_pong",

@@ -18,8 +18,10 @@ from ..program import (
     VolWrite,
     Write,
 )
+from .base import RacySite, WorkloadSpec
 
 __all__ = [
+    "MICRO",
     "counter_race",
     "producer_consumer",
     "lock_ping_pong",
@@ -27,6 +29,27 @@ __all__ = [
     "volatile_flag",
     "redundant_sync_storm",
 ]
+
+#: A deliberately small registered workload: one wave of four workers,
+#: a hot and a cold injected race, and enough allocation traffic to
+#: cross many GC (sampling-decision) boundaries.  It exists so smoke
+#: tests and ``repro profile micro`` finish in well under a second while
+#: still exercising forks, locks, volatiles, sampling periods, and
+#: races.
+MICRO = WorkloadSpec(
+    name="micro",
+    n_waves=1,
+    wave_size=4,
+    iterations=120,
+    n_shared=32,
+    n_locks=4,
+    n_vols=2,
+    accesses_per_iteration=40,
+    racy_sites=[
+        RacySite(0, probability=0.05, hot=True, kind="ww"),
+        RacySite(1, probability=0.4, hot=False, kind="wr"),
+    ],
+)
 
 
 def counter_race(n_threads: int = 2, increments: int = 50) -> Program:

@@ -1,0 +1,218 @@
+"""The metrics registry: counters, gauges, histograms, merge semantics.
+
+Also holds the empty-run regression tests for
+:class:`repro.core.stats.PerfCounters` — a run with zero events or zero
+elapsed time must report clean zeros from every derived rate, never
+raise ``ZeroDivisionError`` (the CLI prints these unconditionally).
+"""
+
+import json
+
+import pytest
+
+from repro.core.stats import PerfCounters
+from repro.obs import MetricsRegistry, merge_metric_dicts
+from repro.obs.metrics import Counter, Gauge, Histogram, series_key
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("events", {}) == "events"
+
+    def test_labels_sorted(self):
+        assert (
+            series_key("ops", {"op": "reads", "kind": "fast"})
+            == "ops{kind=fast,op=reads}"
+        )
+
+    def test_label_order_irrelevant(self):
+        assert series_key("x", {"a": 1, "b": 2}) == series_key("x", {"b": 2, "a": 1})
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_tracks_value_and_high_watermark(self):
+        g = Gauge()
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+        assert g.high == 10
+
+
+class TestHistogram:
+    def test_default_buckets_cover_batch_sizes(self):
+        h = Histogram()
+        h.observe(1)
+        h.observe(4096)
+        h.observe(10**9)  # overflow bucket
+        assert h.count == 3
+        assert h.total == 1 + 4096 + 10**9
+        assert sum(h.counts) == 3
+
+    def test_mean_of_empty_histogram_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(4, 4, 8))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(8, 4))
+
+    def test_observations_land_in_correct_buckets(self):
+        h = Histogram(buckets=(10, 100))
+        for v in (0, 5, 10, 50, 99, 100, 5000):
+            h.observe(v)
+        # buckets: <=10, <=100, overflow (bounds are inclusive)
+        assert h.counts == [3, 3, 1]
+
+
+class TestRegistry:
+    def test_create_on_first_use(self):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(7)
+        assert reg.counter("events").value == 7
+
+    def test_labeled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", op="reads").inc(1)
+        reg.counter("ops", op="writes").inc(2)
+        snap = reg.snapshot()
+        assert snap["counters"]["ops{op=reads}"] == 1
+        assert snap["counters"]["ops{op=writes}"] == 2
+
+    def test_count_many_sets_absolute_values(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", op="reads").inc(99)  # count_many overwrites
+        reg.count_many("ops", {"reads": 3, "writes": 0}, "op")
+        snap = reg.snapshot()["counters"]
+        assert snap["ops{op=reads}"] == 3
+        assert snap["ops{op=writes}"] == 0
+
+    def test_snapshot_is_deterministic_json(self):
+        reg = MetricsRegistry()
+        reg.gauge("footprint").set(42)
+        reg.counter("gc").inc(3)
+        reg.histogram("batch", buckets=(8, 64)).observe(10)
+        a = reg.to_json()
+        assert a == reg.to_json()
+        doc = json.loads(a)
+        assert doc["gauges"]["footprint"] == {"value": 42, "high": 42}
+        assert doc["histograms"]["batch"]["counts"] == [0, 1, 0]
+
+    def test_write_json_round_trips(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(9)
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        assert json.loads(path.read_text())["counters"]["events"] == 9
+
+
+class TestRegistryMerge:
+    def _make(self, events, footprint, obs):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(events)
+        reg.gauge("footprint").set(footprint)
+        reg.histogram("batch", buckets=(10, 100)).observe(obs)
+        return reg
+
+    def test_counters_sum_gauges_max_histograms_bucket_sum(self):
+        a = self._make(10, 5, 3)
+        a.merge(self._make(7, 9, 50))
+        snap = a.snapshot()
+        assert snap["counters"]["events"] == 17
+        assert snap["gauges"]["footprint"]["value"] == 9
+        assert snap["histograms"]["batch"]["counts"] == [1, 1, 0]
+        assert snap["histograms"]["batch"]["count"] == 2
+
+    def test_merge_is_order_insensitive(self):
+        x = self._make(1, 2, 3)
+        x.merge(self._make(4, 5, 6))
+        y = self._make(4, 5, 6)
+        y.merge(self._make(1, 2, 3))
+        assert x.to_json() == y.to_json()
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1, 2))
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1, 2, 3))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_snapshot_survives_json_round_trip(self):
+        a = self._make(10, 5, 3)
+        snap = json.loads(self._make(7, 9, 50).to_json())
+        a.merge_snapshot(snap)
+        assert a.snapshot()["counters"]["events"] == 17
+
+
+class TestMergeMetricDicts:
+    def test_sums_by_default_max_prefix_takes_max(self):
+        merged = merge_metric_dicts(
+            [
+                {"events": 10, "max_live_threads": 3},
+                {"events": 5, "max_live_threads": 7},
+            ]
+        )
+        assert merged == {"events": 15, "max_live_threads": 7}
+
+    def test_missing_keys_treated_as_absent_not_error(self):
+        assert merge_metric_dicts([{"a": 1}, {"b": 2}]) == {"a": 1, "b": 2}
+
+    def test_output_keys_sorted(self):
+        assert list(merge_metric_dicts([{"z": 1, "a": 2}])) == ["a", "z"]
+
+    def test_empty_input(self):
+        assert merge_metric_dicts([]) == {}
+
+
+class TestPerfCountersEmptyRun:
+    """Satellite regression: zero-event / zero-time runs stay division-safe."""
+
+    def test_fresh_counters_report_zero_rates(self):
+        perf = PerfCounters()
+        assert perf.events_per_sec == 0.0
+        assert perf.ns_per_event == 0.0
+        assert perf.mean_batch == 0.0
+
+    def test_events_without_elapsed_time(self):
+        assert PerfCounters(events=100, elapsed_ns=0).events_per_sec == 0.0
+
+    def test_elapsed_time_without_events(self):
+        perf = PerfCounters(events=0, elapsed_ns=1_000_000)
+        assert perf.ns_per_event == 0.0
+        assert perf.mean_batch == 0.0
+
+    def test_summary_never_raises_on_empty_run(self):
+        assert "0 events" in PerfCounters().summary()
+
+    def test_merge_of_fresh_counters_is_fresh(self):
+        a = PerfCounters()
+        a.merge(PerfCounters())
+        assert (a.events, a.elapsed_ns, a.batches, a.max_batch) == (0, 0, 0, 0)
+        assert a.summary()  # still printable
+
+    def test_empty_trace_through_detector_run(self):
+        from repro.detectors import FastTrackDetector
+
+        det = FastTrackDetector()
+        det.run([])
+        assert det.perf.events == 0
+        assert det.perf.ns_per_event == 0.0
+        assert det.perf.summary()
+
+    def test_empty_trace_through_run_batch(self):
+        from repro.detectors import FastTrackDetector
+
+        det = FastTrackDetector()
+        det.run_batch([])
+        assert det.perf.mean_batch == 0.0
+        assert det.perf.summary()

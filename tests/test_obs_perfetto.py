@@ -1,0 +1,119 @@
+"""Chrome trace-event export: builders, envelope, structural validation."""
+
+import json
+
+from repro.analysis.parallel import TrialTask, run_trial_task
+from repro.obs import (
+    chrome_trace,
+    matrix_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.perfetto import (
+    PID_DETECTOR,
+    PID_SCHEDULER,
+    counter_event,
+    instant_event,
+    process_metadata,
+    span_event,
+)
+
+
+class TestEventBuilders:
+    def test_span_has_required_fields(self):
+        ev = span_event("work", 10, 5, PID_DETECTOR, 0)
+        assert ev["ph"] == "X"
+        assert (ev["ts"], ev["dur"]) == (10, 5)
+
+    def test_zero_width_spans_clamped_visible(self):
+        assert span_event("blip", 3, 0, PID_DETECTOR, 0)["dur"] == 1
+
+    def test_counter_wraps_value_in_args(self):
+        ev = counter_event("races", 100, 7)
+        assert ev["ph"] == "C"
+        assert ev["args"] == {"value": 7}
+
+    def test_instant_is_thread_scoped(self):
+        assert instant_event("gc", 5, PID_DETECTOR)["s"] == "t"
+
+    def test_process_metadata_names_both_processes(self):
+        pids = {ev["pid"] for ev in process_metadata()}
+        assert pids == {PID_DETECTOR, PID_SCHEDULER}
+
+
+class TestEnvelope:
+    def test_chrome_trace_envelope(self):
+        doc = chrome_trace([counter_event("x", 0, 1)])
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_write_chrome_trace_is_deterministic_json(self, tmp_path):
+        events = process_metadata() + [span_event("a", 0, 2, PID_DETECTOR, 0)]
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(p1, events)
+        write_chrome_trace(p2, events)
+        assert p1.read_bytes() == p2.read_bytes()
+        assert validate_chrome_trace(json.loads(p1.read_text())) == []
+
+
+class TestValidation:
+    def test_accepts_all_builder_outputs(self):
+        events = process_metadata() + [
+            span_event("s", 0, 4, PID_DETECTOR, 1),
+            counter_event("c", 2, 9),
+            instant_event("i", 3, PID_SCHEDULER),
+        ]
+        assert validate_chrome_trace(chrome_trace(events)) == []
+
+    def test_rejects_non_object_document(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"notTraceEvents": []}) != []
+
+    def test_rejects_unknown_phase(self):
+        problems = validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+        assert any("phase" in p for p in problems)
+
+    def test_rejects_missing_required_fields(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "s"}]}
+        )
+        assert any("missing" in p for p in problems)
+
+    def test_rejects_negative_timestamps(self):
+        ev = span_event("s", 0, 1, PID_DETECTOR, 0)
+        ev["ts"] = -5
+        problems = validate_chrome_trace({"traceEvents": [ev]})
+        assert any("ts" in p for p in problems)
+
+    def test_rejects_non_numeric_counter_values(self):
+        ev = counter_event("c", 0, 1)
+        ev["args"] = {"value": "NaN-ish"}
+        problems = validate_chrome_trace({"traceEvents": [ev]})
+        assert any("numeric" in p for p in problems)
+
+    def test_rejects_empty_counter_args(self):
+        ev = counter_event("c", 0, 1)
+        ev["args"] = {}
+        assert validate_chrome_trace({"traceEvents": [ev]}) != []
+
+
+class TestMatrixTrace:
+    def _cells(self):
+        tasks = [
+            TrialTask("micro", "fasttrack", None, seed, scale=0.5)
+            for seed in (0, 1)
+        ]
+        return [(t, run_trial_task(t)) for t in tasks]
+
+    def test_one_span_per_trial_laid_head_to_tail(self):
+        cells = self._cells()
+        events = matrix_trace_events(cells)
+        spans = [e for e in events if e.get("ph") == "X"]
+        assert len(spans) == 2
+        # same (workload, detector) -> same track, non-overlapping
+        assert spans[0]["tid"] == spans[1]["tid"]
+        assert spans[1]["ts"] >= spans[0]["ts"] + spans[0]["dur"]
+        assert spans[0]["args"]["seed"] == 0
+
+    def test_matrix_trace_validates(self):
+        assert validate_chrome_trace(chrome_trace(matrix_trace_events(self._cells()))) == []
