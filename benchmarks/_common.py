@@ -101,6 +101,20 @@ def run_workload(name: str, detector, controller=None, trial_seed: int = 0,
     return runtime
 
 
+def write_bench_json(path, doc: Dict) -> None:
+    """Write one benchmark's machine-readable results (CI artifact).
+
+    Stable formatting (sorted keys, trailing newline) so committed
+    evidence files diff cleanly between runs.
+    """
+    import json
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
 def print_banner(title: str) -> None:
     print()
     print("=" * 72)

@@ -24,7 +24,7 @@ import time
 
 import pytest
 
-from _common import marked_trace, print_banner, recorded_trace
+from _common import marked_trace, print_banner, recorded_trace, write_bench_json
 from repro.analysis import render_table
 from repro.core.clocks import Epoch, VectorClock, epoch_leq_vc
 from repro.core.pacer import PacerDetector
@@ -104,13 +104,14 @@ def _best_rate(run, repeats):
     return max(run() for _ in range(repeats))
 
 
-def batched_speedups(size=0.7, repeats=3):
+def batched_speedups(size=0.7, repeats=3, backend=None):
     """[(label, n_events, encode ns/ev, scalar ev/s, batched ev/s, speedup), ...]
 
     Each engine is timed on its native input: scalar ``run`` over the
     :class:`Event` list, batched ``run_batch`` over the pre-built
     columnar :class:`EventBatch`.  Encoding is a one-time trace-loading
     cost (like parsing events from a file), reported in its own column.
+    ``backend`` picks the state representation (None = session default).
     """
     rows = []
     for label, factory, build in BATCH_CONFIGS:
@@ -120,12 +121,12 @@ def batched_speedups(size=0.7, repeats=3):
         encode_ns = (time.perf_counter_ns() - start) / max(1, len(events))
 
         def scalar():
-            det = factory()
+            det = factory(backend=backend)
             det.run(events)
             return det.perf.events_per_sec
 
         def batched():
-            det = factory()
+            det = factory(backend=backend)
             det.run_batch(encoded)
             return det.perf.events_per_sec
 
@@ -166,6 +167,143 @@ def smoke() -> int:
         print(f"FAIL: batched dispatch slower than scalar for {slower}")
         return 1
     print("OK: batched dispatch >= scalar for every detector")
+    return 0
+
+
+# -- state-backend comparison ---------------------------------------------------
+
+#: the packed backend must beat the object backend's *batched* replay by
+#: this factor on the layout-bound (fasttrack) config; measured locally
+#: into BENCH_core.json.  CI re-runs direction-only (see state_gate).
+PACKED_SPEEDUP_TARGET = 1.5
+
+#: workload for the memory gate (the paper's largest space case)
+MEMORY_GATE_WORKLOAD = "eclipse"
+
+
+def backend_comparison(size=0.7, repeats=3):
+    """Per (config, backend): throughput and end-of-replay footprint.
+
+    Returns ``[(label, backend, n_events, scalar ev/s, batched ev/s,
+    footprint words), ...]``.  Footprints are trace-determined, so equal
+    footprints across backends double as a space-parity check.
+    """
+    rows = []
+    for label, factory, build in BATCH_CONFIGS:
+        events = build(size)
+        encoded = encode_batch(events)
+        for backend in ("object", "packed"):
+
+            def scalar():
+                det = factory(backend=backend)
+                det.run(events)
+                return det.perf.events_per_sec
+
+            def batched():
+                det = factory(backend=backend)
+                det.run_batch(encoded)
+                return det.perf.events_per_sec
+
+            probe = factory(backend=backend)
+            probe.run_batch(encoded)
+            rows.append(
+                (label, backend, len(events), _best_rate(scalar, repeats),
+                 _best_rate(batched, repeats), probe.footprint_words())
+            )
+    return rows
+
+
+def _print_backends(rows):
+    print(render_table(
+        ["detector", "backend", "events", "scalar ev/s", "batched ev/s",
+         "footprint words"],
+        [[label, backend, n, f"{s:,.0f}", f"{b:,.0f}", f"{fp:,}"]
+         for label, backend, n, s, b, fp in rows],
+    ))
+
+
+def _packed_speedup(rows, config="fasttrack"):
+    """Packed batched ev/s over object batched ev/s for one config."""
+    by = {(label, backend): b for label, backend, _, _, b, _ in rows}
+    return by[(config, "packed")] / by[(config, "object")]
+
+
+def emit_json(path, size=0.7, repeats=3) -> int:
+    """Write BENCH_core.json: per-backend throughput + footprint rows."""
+    rows = backend_comparison(size=size, repeats=repeats)
+    print_banner("State backends: packed vs object (replay throughput)")
+    _print_backends(rows)
+    speedup = _packed_speedup(rows)
+    doc = {
+        "bench": "core_operations",
+        "workload": "pseudojbb",
+        "size": size,
+        "rows": [
+            {
+                "detector": label,
+                "backend": backend,
+                "events": n,
+                "scalar_events_per_sec": round(s, 1),
+                "batched_events_per_sec": round(b, 1),
+                "footprint_words": fp,
+            }
+            for label, backend, n, s, b, fp in rows
+        ],
+        "gate": {
+            "config": "fasttrack",
+            "metric": "batched replay throughput, packed vs object backend",
+            "speedup": round(speedup, 3),
+            "target": PACKED_SPEEDUP_TARGET,
+        },
+    }
+    write_bench_json(path, doc)
+    print(f"packed vs object batched replay (fasttrack): {speedup:.2f}x "
+          f"(target {PACKED_SPEEDUP_TARGET}x)")
+    if speedup < PACKED_SPEEDUP_TARGET:
+        # informational on shared CI boxes; the sharp ratio is evidenced
+        # by BENCH_core.json from a quiet machine, direction by state_gate
+        print(f"WARNING: below the {PACKED_SPEEDUP_TARGET}x target on this box")
+    return 0
+
+
+def state_gate() -> int:
+    """CI gate for the packed backend: space parity and direction.
+
+    * memory: packed footprint must not exceed the object footprint on
+      the eclipse workload (identical by construction; the gate pins it);
+    * throughput: packed batched replay must beat object batched replay
+      on the layout-bound fasttrack config (direction only — CI boxes
+      are too noisy for the sharp 1.5x assert, which BENCH_core.json
+      documents from a quiet machine).
+    """
+    events = marked_trace(MEMORY_GATE_WORKLOAD, 0.10, size=0.5)
+    encoded = encode_batch(events)
+    print_banner("Packed-backend state gate (eclipse footprint + direction)")
+    failures = []
+    for label, factory in (
+        ("fasttrack", FastTrackDetector),
+        ("pacer r=10%", PacerDetector),
+    ):
+        footprints = {}
+        for backend in ("object", "packed"):
+            det = factory(backend=backend)
+            det.run_batch(encoded)
+            footprints[backend] = det.footprint_words()
+        print(f"{label}: object={footprints['object']:,} words, "
+              f"packed={footprints['packed']:,} words")
+        if footprints["packed"] > footprints["object"]:
+            failures.append(f"{label} footprint")
+    rows = backend_comparison(size=0.3, repeats=2)
+    _print_backends(rows)
+    speedup = _packed_speedup(rows)
+    print(f"packed vs object batched replay (fasttrack): {speedup:.2f}x")
+    if speedup <= 1.0:
+        failures.append("fasttrack batched throughput")
+    if failures:
+        print(f"FAIL: packed backend regressed on {failures}")
+        return 1
+    print("OK: packed footprint <= object on eclipse; packed batched "
+          "replay faster on fasttrack")
     return 0
 
 
@@ -241,13 +379,21 @@ def test_obs_disabled_overhead(benchmark):
 
 if __name__ == "__main__":
     argv = sys.argv[1:]
-    if "--smoke" in argv or "--obs-gate" in argv:
+    known = {"--smoke", "--obs-gate", "--state-gate", "--emit-json"}
+    if known & set(argv):
         code = 0
         if "--smoke" in argv:
             code = smoke() or code
         if "--obs-gate" in argv:
             code = obs_gate() or code
+        if "--state-gate" in argv:
+            code = state_gate() or code
+        if "--emit-json" in argv:
+            at = argv.index("--emit-json")
+            path = (argv[at + 1] if at + 1 < len(argv)
+                    and not argv[at + 1].startswith("--") else "BENCH_core.json")
+            code = emit_json(path) or code
         sys.exit(code)
-    print("usage: bench_core_operations.py --smoke | --obs-gate "
-          "(or run under pytest)")
+    print("usage: bench_core_operations.py --smoke | --obs-gate | "
+          "--state-gate | --emit-json [PATH] (or run under pytest)")
     sys.exit(2)

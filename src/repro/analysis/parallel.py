@@ -58,8 +58,9 @@ __all__ = [
     "default_jobs",
 ]
 
-#: name -> zero-argument detector factory (picklable by name, not object)
-DETECTOR_FACTORIES: Dict[str, Callable[[], Detector]] = {
+#: name -> detector factory taking an optional ``backend`` keyword
+#: (picklable by name, not object)
+DETECTOR_FACTORIES: Dict[str, Callable[..., Detector]] = {
     "pacer": PacerDetector,
     "fasttrack": FastTrackDetector,
     "generic": GenericDetector,
@@ -80,6 +81,10 @@ class TrialTask:
     rate: Optional[float]  # PACER sampling rate; None for always-on
     seed: int
     scale: float = 1.0
+    #: state backend name; None resolves to the process-wide default.
+    #: Deliberately excluded from :func:`task_seed` — both backends must
+    #: reproduce the same trial, which the differential suite asserts.
+    backend: Optional[str] = None
 
 
 def task_seed(task: TrialTask) -> int:
@@ -100,6 +105,7 @@ def expand_matrix(
     rates: Iterable[Optional[float]],
     seeds: Iterable[int],
     scale: float = 1.0,
+    backend: Optional[str] = None,
 ) -> List[TrialTask]:
     """The full cartesian matrix, in deterministic row-major order.
 
@@ -113,7 +119,9 @@ def expand_matrix(
             det_rates = list(rates) if detector == "pacer" else [None]
             for rate in det_rates:
                 for seed in seeds:
-                    tasks.append(TrialTask(workload, detector, rate, seed, scale))
+                    tasks.append(
+                        TrialTask(workload, detector, rate, seed, scale, backend)
+                    )
     return tasks
 
 
@@ -142,7 +150,7 @@ def run_trial_task(task: TrialTask) -> CoreStats:
 
     spec = WORKLOADS[task.workload].scaled(task.scale)
     factory = DETECTOR_FACTORIES[task.detector]
-    detector = factory()
+    detector = factory(backend=task.backend)
     controller = None
     if task.rate is not None:
         if task.detector != "pacer":

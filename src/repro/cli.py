@@ -42,6 +42,7 @@ from .analysis.parallel import (
     run_matrix,
 )
 from .analysis.tables import render_table
+from .core.backend import BACKENDS, DEFAULT_BACKEND
 from .core.pacer import PacerDetector
 from .core.sampling import BiasCorrectedController
 from .obs import RunObserver, matrix_trace_events, write_chrome_trace
@@ -66,7 +67,7 @@ from .trace.trace import Trace
 
 __all__ = ["main", "DETECTORS"]
 
-DETECTORS: Dict[str, Callable[[], Detector]] = {
+DETECTORS: Dict[str, Callable[..., Detector]] = {
     "pacer": PacerDetector,
     "fasttrack": FastTrackDetector,
     "generic": GenericDetector,
@@ -177,6 +178,15 @@ def _add_obs_arguments(
     )
 
 
+def _add_backend_argument(p) -> None:
+    p.add_argument(
+        "--state-backend", choices=BACKENDS, default=None,
+        help="detector state representation "
+        f"(default: $REPRO_STATE_BACKEND or '{DEFAULT_BACKEND}'); "
+        "both backends report identical races",
+    )
+
+
 def _race_dict(race) -> Dict:
     return {
         "var": race.var,
@@ -233,7 +243,7 @@ def cmd_record(args) -> int:
 
 def cmd_analyze(args) -> int:
     trace = _load(Path(args.trace), args.format)
-    detector = DETECTORS[args.detector]()
+    detector = DETECTORS[args.detector](backend=args.state_backend)
     obs = _make_observer(args)
     if obs is not None:
         obs.attach(detector)
@@ -285,7 +295,7 @@ def cmd_oracle(args) -> int:
 
 def cmd_detect(args) -> int:
     spec = WORKLOADS[args.workload].scaled(args.scale)
-    detector = DETECTORS[args.detector]()
+    detector = DETECTORS[args.detector](backend=args.state_backend)
     controller = None
     if args.rate is not None:
         if args.detector != "pacer":
@@ -314,7 +324,7 @@ def cmd_detect(args) -> int:
 def cmd_profile(args) -> int:
     """Run a workload live with full observability and write all sinks."""
     spec = WORKLOADS[args.workload].scaled(args.scale)
-    detector = DETECTORS[args.detector]()
+    detector = DETECTORS[args.detector](backend=args.state_backend)
     controller = None
     if args.detector == "pacer":
         rate = 10.0 if args.rate is None else args.rate
@@ -364,6 +374,7 @@ def cmd_matrix(args) -> int:
         rates=rates,
         seeds=range(args.seeds),
         scale=args.scale,
+        backend=args.state_backend,
     )
     results = run_matrix(tasks, jobs=args.jobs)
     merged = merge_matrix(tasks, results)
@@ -510,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="machine-readable output: races + counters + metrics",
     )
+    _add_backend_argument(p)
     _add_obs_arguments(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -528,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--limit", type=int, default=20)
+    _add_backend_argument(p)
     _add_obs_arguments(p)
     p.set_defaults(func=cmd_detect)
 
@@ -544,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", type=float, default=1.0)
+    _add_backend_argument(p)
     _add_obs_arguments(
         p,
         metrics_default="metrics.json",
@@ -585,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="write a Perfetto coverage trace of the matrix (one span per trial)",
     )
+    _add_backend_argument(p)
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("convert", help="convert between trace formats")

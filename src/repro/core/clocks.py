@@ -30,6 +30,12 @@ __all__ = [
     "MIN_EPOCH",
     "epoch_leq_vc",
     "ReadMap",
+    "TID_BITS",
+    "TID_MASK",
+    "MAX_TID",
+    "PACKED_MIN",
+    "pack_epoch",
+    "unpack_epoch",
 ]
 
 
@@ -54,6 +60,49 @@ class Epoch(NamedTuple):
 
 #: The canonical minimal epoch 0@0 (the paper's ⊥e).
 MIN_EPOCH = Epoch(0, 0)
+
+
+# -- packed epochs -----------------------------------------------------------
+#
+# The packed state backend stores an epoch ``c@t`` as the single integer
+# ``(c << TID_BITS) | t`` so the hot-path comparisons of Tables 4-7 become
+# plain integer ops with no tuple allocation.  ``0`` is the packed ⊥e:
+# every live thread clock is >= 1 from its first event (Equation 7 applies
+# ``inc_t`` to the bottom clock before any access), so a real packed epoch
+# is always >= ``PACKED_MIN`` and never collides with the sentinel.
+
+#: Bits reserved for the thread id in a packed epoch.  2^20 threads is far
+#: beyond any workload here; clocks get the (unbounded) remaining bits.
+TID_BITS = 20
+
+#: Mask selecting the tid field of a packed epoch.
+TID_MASK = (1 << TID_BITS) - 1
+
+#: Largest thread id a packed epoch can carry.
+MAX_TID = TID_MASK
+
+#: Smallest packed value of a real (non-⊥e) epoch: 1 @ tid 0.
+PACKED_MIN = 1 << TID_BITS
+
+
+def pack_epoch(clock: int, tid: int) -> int:
+    """Pack ``clock @ tid`` into one int ``(clock << TID_BITS) | tid``.
+
+    ``clock`` must be positive — packed 0 is reserved for ⊥e — and ``tid``
+    must fit in :data:`TID_BITS`; anything else raises ``ValueError``.
+    """
+    if not 0 <= tid <= MAX_TID:
+        raise ValueError(f"tid {tid} outside [0, {MAX_TID}]")
+    if clock <= 0:
+        raise ValueError(f"clock {clock} must be >= 1 (0 is the packed ⊥e)")
+    return (clock << TID_BITS) | tid
+
+
+def unpack_epoch(packed: int) -> Epoch:
+    """Inverse of :func:`pack_epoch`; packed 0 unpacks to the ⊥e 0@0."""
+    if packed == 0:
+        return MIN_EPOCH
+    return Epoch(packed >> TID_BITS, packed & TID_MASK)
 
 
 class VectorClock:

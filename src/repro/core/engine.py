@@ -1,0 +1,431 @@
+"""Packed-state analysis kernels shared by scalar and batched dispatch.
+
+The object backend keeps two transcriptions of Algorithms 7/8 and 12/13:
+the scalar typed handlers (the semantic reference) and the inlined batch
+loops from the dispatch layer.  The packed backend folds them: one kernel
+per detector family drives both paths — the scalar handlers call it with
+a singleton event, the batch path with whole columns — so there is a
+single transcription of each algorithm over the packed representation.
+
+Everything here works on :class:`~repro.core.backend.PackedVarStore`
+arrays: epochs are packed ints (:func:`~repro.core.clocks.pack_epoch`),
+``0`` is ⊥e, and :data:`~repro.core.backend.READ_SHARED` marks an
+inflated read map living in the arena's side table.  The differential
+suite holds every kernel to the object backend's races, operation
+counts, and footprint words, event for event.
+"""
+
+from __future__ import annotations
+
+from itertools import compress as _compress
+
+from ..detectors.base import Race, READ_WRITE, WRITE_READ, WRITE_WRITE
+from ..trace.batch import ACCESS01_TABLE, RUN_MASK_TABLE
+from .backend import READ_SHARED
+from .clocks import TID_BITS, TID_MASK, VectorClock
+
+__all__ = ["fasttrack_kernel", "pacer_access_packed", "pacer_kernel"]
+
+
+def fasttrack_kernel(det, kinds, tids, targets, sites, seen0):
+    """Algorithms 7/8 over packed arrays (FASTTRACK, both dispatch paths).
+
+    ``seen0`` is the event index before the first event in ``kinds``;
+    the scalar wrappers pass ``_events_seen - 1`` (``apply`` has already
+    counted the event), the batch wrapper passes ``_events_seen``.
+
+    Access events never mutate vector clocks, so per-thread clock lookups
+    (including the packed ``own`` epoch) are cached across each run of
+    accesses and invalidated at every synchronization or period event —
+    this is where the packed kernel's throughput comes from.
+    """
+    arena = det._arena
+    index = arena.index
+    index_get = index.get
+    alloc = arena.alloc
+    wep, wsite, windex = arena.wep, arena.wsite, arena.windex
+    rep, rsite, rindex = arena.rep, arena.rsite, arena.rindex
+    rshared = arena.rshared
+    thread_clock = det._thread_clock
+    threads_add = det._threads.add
+    races_append = det.races.append
+    seen = seen0
+    reads = 0
+    writes = 0
+    words = 0
+    last_tid = None
+    cache = {}  # tid -> (components, own, packed own epoch)
+    cache_get = cache.get
+    for k, tid, target, site in zip(kinds, tids, targets, sites):
+        seen += 1
+        if k <= 1:  # rd / wr (Algorithms 7 and 8)
+            if tid != last_tid:
+                threads_add(tid)
+                last_tid = tid
+            entry = cache_get(tid)
+            if entry is None:
+                clock = thread_clock.get(tid)
+                if clock is None:
+                    clock = VectorClock()
+                    clock.increment(tid)
+                    thread_clock[tid] = clock
+                    words += 2
+                c = clock._c
+                own = c[tid] if tid < len(c) else 0
+                entry = (c, own, (own << TID_BITS) | tid)
+                cache[tid] = entry
+            c, own, packed_own = entry
+            slot = index_get(target)
+            if slot is None:
+                slot = alloc(target)
+                words += 2
+            if k == 0:  # rd
+                reads += 1
+                r = rep[slot]
+                if r == packed_own:
+                    continue  # same read epoch: no action
+                w = wep[slot]
+                if w:
+                    wt = w & TID_MASK
+                    wc = w >> TID_BITS
+                    if wc > (c[wt] if wt < len(c) else 0):
+                        races_append(
+                            Race(target, WRITE_READ, wt, wc, wsite[slot],
+                                 tid, site, seen - 1, windex[slot])
+                        )
+                if r == 0:
+                    rep[slot] = packed_own
+                    rsite[slot] = site
+                    rindex[slot] = seen - 1
+                    words += 2
+                elif r != READ_SHARED:
+                    rt = r & TID_MASK
+                    if (r >> TID_BITS) <= (c[rt] if rt < len(c) else 0):
+                        rep[slot] = packed_own  # overwrite read epoch
+                        rsite[slot] = site
+                        rindex[slot] = seen - 1
+                    else:
+                        # inflate; rt != tid here (a same-thread epoch is
+                        # either same-epoch or ordered, handled above)
+                        rshared[slot] = {
+                            rt: (r >> TID_BITS, rsite[slot], rindex[slot]),
+                            tid: (own, site, seen - 1),
+                        }
+                        rep[slot] = READ_SHARED
+                        words += 2
+                else:
+                    rshared[slot][tid] = (own, site, seen - 1)
+                    words += 2
+            else:  # wr
+                writes += 1
+                w = wep[slot]
+                if w == packed_own:
+                    continue  # same write epoch: no action
+                if w:
+                    wt = w & TID_MASK
+                    wc = w >> TID_BITS
+                    if wc > (c[wt] if wt < len(c) else 0):
+                        races_append(
+                            Race(target, WRITE_WRITE, wt, wc, wsite[slot],
+                                 tid, site, seen - 1, windex[slot])
+                        )
+                r = rep[slot]
+                if r:
+                    if r != READ_SHARED:
+                        rt = r & TID_MASK
+                        rc = r >> TID_BITS
+                        if rc > (c[rt] if rt < len(c) else 0):
+                            races_append(
+                                Race(target, READ_WRITE, rt, rc, rsite[slot],
+                                     tid, site, seen - 1, rindex[slot])
+                            )
+                    else:
+                        for u, (rc, rs, ri) in rshared[slot].items():
+                            if rc > (c[u] if u < len(c) else 0):
+                                races_append(
+                                    Race(target, READ_WRITE, u, rc, rs,
+                                         tid, site, seen - 1, ri)
+                                )
+                        del rshared[slot]
+                    rep[slot] = 0  # modified FASTTRACK: clear read map
+                wep[slot] = packed_own
+                wsite[slot] = site
+                windex[slot] = seen - 1
+                words += 2
+        elif k >= 10:  # m_enter / m_exit / alloc: no-ops here
+            continue
+        elif k == 8:  # period boundaries carry no acting thread
+            det._events_seen = seen
+            det.begin_sampling()
+            cache.clear()
+        elif k == 9:
+            det._events_seen = seen
+            det.end_sampling()
+            cache.clear()
+        else:  # synchronization actions mutate clocks: drop the cache
+            det._events_seen = seen
+            if tid != last_tid:
+                threads_add(tid)
+                last_tid = tid
+            if k == 2:
+                det.acquire(tid, target)
+            elif k == 3:
+                det.release(tid, target)
+            elif k == 4:
+                threads_add(target)
+                det.fork(tid, target)
+            elif k == 5:
+                det.join(tid, target)
+            elif k == 6:
+                det.vol_read(tid, target)
+            else:  # k == 7
+                det.vol_write(tid, target)
+            cache.clear()
+    det._events_seen = seen
+    counters = det.counters
+    counters.reads_slow_sampling += reads
+    counters.writes_slow_sampling += writes
+    counters.words_allocated += words
+
+
+def pacer_access_packed(det, k, tid, var, site, index):
+    """One PACER access (Algorithm 12 if ``k == 0``, else 13) over packed
+    arrays — the single transcription behind the packed scalar handlers
+    and every non-bulk event of :func:`pacer_kernel`.
+
+    Branches on ``det.sampling`` internally: the sampling body is exactly
+    FASTTRACK (Algorithms 7/8), the non-sampling body runs the race
+    checks against frozen clocks and applies the Table 4 discard rules,
+    releasing the variable's arena slot once its metadata is fully null.
+    """
+    arena = det._arena
+    slot = arena.index.get(var)
+    counters = det.counters
+    sampling = det.sampling
+    if k == 0:
+        if not sampling:
+            if slot is None:
+                counters.reads_fast_nonsampling += 1  # inlined fast path
+                return
+            counters.reads_slow_nonsampling += 1
+        else:
+            counters.reads_slow_sampling += 1
+    else:
+        if not sampling:
+            if slot is None:
+                counters.writes_fast_nonsampling += 1  # inlined fast path
+                return
+            counters.writes_slow_nonsampling += 1
+        else:
+            counters.writes_slow_sampling += 1
+    if slot is None:
+        slot = arena.alloc(var)
+        counters.words_allocated += 2
+    tmeta = det._thread_meta(tid)
+    c = tmeta.clock._c
+    own = c[tid] if tid < len(c) else 0
+    packed_own = (own << TID_BITS) | tid
+    wep, rep = arena.wep, arena.rep
+    rshared = arena.rshared
+    races_append = det.races.append
+    w = wep[slot]
+    r = rep[slot]
+    if k == 0:  # rd (Algorithm 12)
+        if sampling and r == packed_own:
+            return  # same read epoch: no action (exactly FASTTRACK)
+        if w:
+            wt = w & TID_MASK
+            wc = w >> TID_BITS
+            if wc > (c[wt] if wt < len(c) else 0):
+                races_append(
+                    Race(var, WRITE_READ, wt, wc, arena.wsite[slot],
+                         tid, site, index, arena.windex[slot])
+                )
+        if sampling:
+            if r == 0:
+                rep[slot] = packed_own
+                arena.rsite[slot] = site
+                arena.rindex[slot] = index
+                counters.words_allocated += 2
+            elif r != READ_SHARED:
+                rt = r & TID_MASK
+                if (r >> TID_BITS) <= (c[rt] if rt < len(c) else 0):
+                    rep[slot] = packed_own  # overwrite read epoch
+                    arena.rsite[slot] = site
+                    arena.rindex[slot] = index
+                else:
+                    rshared[slot] = {
+                        rt: (r >> TID_BITS, arena.rsite[slot], arena.rindex[slot]),
+                        tid: (own, site, index),
+                    }
+                    rep[slot] = READ_SHARED
+                    counters.words_allocated += 2
+            else:
+                rshared[slot][tid] = (own, site, index)
+                counters.words_allocated += 2
+        else:
+            if r:
+                if r != READ_SHARED:
+                    # Table 4 Rule 2: discard a read epoch FASTTRACK would
+                    # have overwritten; same-epoch (Rule 1) and concurrent
+                    # (Rule 4) reads are kept.
+                    rt = r & TID_MASK
+                    if r != packed_own and (
+                        (r >> TID_BITS) <= (c[rt] if rt < len(c) else 0)
+                    ):
+                        rep[slot] = 0
+                else:  # Rule 3: drop only t's entry, never deflate
+                    shared = rshared[slot]
+                    shared.pop(tid, None)
+                    if not shared:
+                        rep[slot] = 0
+                        del rshared[slot]
+            if det.discard_metadata and wep[slot] == 0 and rep[slot] == 0:
+                arena.release(var, slot)
+    else:  # wr (Algorithm 13)
+        if sampling and w == packed_own:
+            return  # same write epoch: no action (exactly FASTTRACK)
+        if w:
+            wt = w & TID_MASK
+            wc = w >> TID_BITS
+            if wc > (c[wt] if wt < len(c) else 0):
+                races_append(
+                    Race(var, WRITE_WRITE, wt, wc, arena.wsite[slot],
+                         tid, site, index, arena.windex[slot])
+                )
+        if r:
+            if r != READ_SHARED:
+                rt = r & TID_MASK
+                rc = r >> TID_BITS
+                if rc > (c[rt] if rt < len(c) else 0):
+                    races_append(
+                        Race(var, READ_WRITE, rt, rc, arena.rsite[slot],
+                             tid, site, index, arena.rindex[slot])
+                    )
+            else:
+                for u, (rc, rs, ri) in rshared[slot].items():
+                    if rc > (c[u] if u < len(c) else 0):
+                        races_append(
+                            Race(var, READ_WRITE, u, rc, rs,
+                                 tid, site, index, ri)
+                        )
+        if sampling:
+            wep[slot] = packed_own
+            arena.wsite[slot] = site
+            arena.windex[slot] = index
+            rep[slot] = 0  # modified FASTTRACK: clear read map
+            rshared.pop(slot, None)
+            counters.words_allocated += 2
+        else:
+            if w == packed_own:
+                return  # same epoch: keep the sampled metadata
+            wep[slot] = 0  # discard write epoch and read map
+            rep[slot] = 0
+            rshared.pop(slot, None)
+            if det.discard_metadata:
+                arena.release(var, slot)
+
+
+def pacer_kernel(det, kinds, tids, targets, sites, seen0):
+    """PACER's run-bulked batch loop over the packed arena.
+
+    Same run-splitting scaffold as the object batch loop — byte-mask run
+    scans, bulk retirement of non-sampling runs disjoint from tracked
+    variables — but every per-event access, sampling or not, goes through
+    the one transcription in :func:`pacer_access_packed`.
+    """
+    n = len(kinds)
+    kind_bytes = bytes(kinds)
+    mask = kind_bytes.translate(RUN_MASK_TABLE)
+    access01 = kind_bytes.translate(ACCESS01_TABLE)
+    find_break = mask.find
+    count_kind = mask.count  # runs: byte 0 = read, 1 = write, 3 = no-op
+    arena = det._arena
+    tracked = arena.index
+    tracked_disjoint = tracked.keys().isdisjoint
+    counters = det.counters
+    threads = det._threads
+    threads_add = threads.add
+    sampling = det.sampling
+    reads_fast = 0
+    writes_fast = 0
+    compress = _compress
+    threads.update(compress(tids, access01))
+    i = 0
+    while i < n:
+        k = kinds[i]
+        if k <= 1 or k >= 10:  # a run starts here; find where it ends
+            j = find_break(2, i)
+            if j < 0:
+                j = n
+            w = count_kind(1, i, j)
+            r = count_kind(0, i, j)
+            pure = w + r == j - i  # no riding no-op events in the run
+            if not sampling and (
+                not tracked
+                or tracked_disjoint(
+                    targets[i:j]
+                    if pure
+                    else compress(targets[i:j], access01[i:j])
+                )
+            ):
+                # Algorithm 12/13 fast path, retired in bulk
+                writes_fast += w
+                reads_fast += r
+                i = j
+                continue
+            if sampling:
+                for idx in range(i, j):
+                    k2 = kinds[idx]
+                    if k2 > 1:
+                        continue  # m_enter / m_exit / alloc: no-ops
+                    pacer_access_packed(
+                        det, k2, tids[idx], targets[idx], sites[idx], seen0 + idx
+                    )
+            else:
+                # live run: most targets still miss the arena, so the
+                # Algorithm 12/13 fast path stays inline and only tracked
+                # variables pay the per-event call
+                for idx in range(i, j):
+                    k2 = kinds[idx]
+                    if k2 > 1:
+                        continue
+                    if targets[idx] not in tracked:
+                        if k2:
+                            writes_fast += 1
+                        else:
+                            reads_fast += 1
+                        continue
+                    pacer_access_packed(
+                        det, k2, tids[idx], targets[idx], sites[idx], seen0 + idx
+                    )
+            i = j
+            continue
+        det._events_seen = seen0 + i + 1
+        if k == 8:  # period boundaries carry no acting thread
+            det.begin_sampling()
+            sampling = det.sampling
+        elif k == 9:
+            det.end_sampling()
+            sampling = det.sampling
+        else:  # synchronization actions (2 <= k <= 7)
+            tid = tids[i]
+            target = targets[i]
+            threads_add(tid)
+            if k == 2:
+                det.acquire(tid, target)
+            elif k == 3:
+                det.release(tid, target)
+            elif k == 4:
+                threads_add(target)
+                det.fork(tid, target)
+            elif k == 5:
+                det.join(tid, target)
+            elif k == 6:
+                det.vol_read(tid, target)
+            else:  # k == 7
+                det.vol_write(tid, target)
+        i += 1
+    det._events_seen = seen0 + n
+    counters.reads_fast_nonsampling += reads_fast
+    counters.writes_fast_nonsampling += writes_fast

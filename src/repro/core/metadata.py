@@ -8,16 +8,12 @@ for PACER — version information.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Iterable, Optional
 
 from .clocks import Epoch, ReadMap, VectorClock
-from .versioning import BOTTOM_VE, SharableClock, VersionEpoch
+from .versioning import VE_BOTTOM, SharableClock, pack_vepoch
 
 __all__ = ["VarState", "ThreadMeta", "SyncMeta", "footprint_words"]
-
-# Note: detectors implement their own footprint accounting on top of the
-# per-object ``words()`` methods below; :func:`footprint_words` is the
-# shared reference implementation used for cross-checking in tests.
 
 
 class VarState:
@@ -75,43 +71,44 @@ class ThreadMeta:
         self.ver = ver
         self.alive = True
 
-    def vepoch(self, tid: int) -> VersionEpoch:
-        """The thread's current version epoch ``ver_t[t]@t``."""
-        return VersionEpoch(self.ver.get(tid), tid)
+    def vepoch(self, tid: int) -> int:
+        """The thread's current *packed* version epoch ``ver_t[t]@t``."""
+        return pack_vepoch(self.ver.get(tid), tid)
 
 
 class SyncMeta:
-    """PACER metadata for a lock or volatile: clock + version epoch."""
+    """PACER metadata for a lock or volatile: clock + packed version epoch."""
 
     __slots__ = ("clock", "vepoch")
 
     def __init__(self) -> None:
         self.clock = SharableClock()
-        self.vepoch: VersionEpoch = BOTTOM_VE
+        self.vepoch: int = VE_BOTTOM
 
 
 def footprint_words(
-    var_states: Dict[int, VarState],
-    thread_clocks: Dict[int, SharableClock],
-    thread_vers: Dict[int, VectorClock],
-    sync_clocks: Dict[int, SharableClock],
+    var_words: int = 0,
+    clocks: Iterable[VectorClock] = (),
+    versions: Iterable[VectorClock] = (),
+    sync_overhead: int = 0,
 ) -> int:
     """Total live metadata footprint in words (Figure 10's metric).
 
-    Shared clocks are counted once, reflecting the space benefit of
-    shallow copies.
+    The one accounting rule every detector shares: ``var_words`` is the
+    per-variable metadata total (a state store's ``words()``), every
+    distinct vector clock costs one header word plus one word per stored
+    component — clocks appearing more than once (PACER's shallow shares)
+    are counted once, reflecting the space benefit of sharing — version
+    vectors cost the same, and ``sync_overhead`` carries any fixed
+    per-sync-object words (PACER's vepoch word + pointer).
     """
-    total = 0
-    for state in var_states.values():
-        total += state.words()
+    total = var_words + sync_overhead
     seen = set()
-    for clock in list(thread_clocks.values()) + list(sync_clocks.values()):
-        if id(clock) in seen:
-            continue
-        seen.add(id(clock))
-        total += 1 + len(clock)
-    for ver in thread_vers.values():
+    for clock in clocks:
+        key = id(clock)
+        if key not in seen:
+            seen.add(key)
+            total += 1 + len(clock)
+    for ver in versions:
         total += 1 + len(ver)
-    # one header word per tracked sync object / variable pointer
-    total += len(var_states) + len(sync_clocks) + len(thread_clocks)
     return total

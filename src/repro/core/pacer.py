@@ -27,29 +27,24 @@ exist for the ablation benchmarks and default to the paper's behaviour.
 
 from __future__ import annotations
 
-from itertools import compress as _compress
+from itertools import chain, compress as _compress
 from typing import Dict, Optional
 
 from ..detectors.base import Detector, Race, READ_WRITE, WRITE_READ, WRITE_WRITE
-from ..trace.batch import EventBatch
-from .clocks import Epoch, ReadMap, epoch_leq_vc
-from .metadata import SyncMeta, ThreadMeta, VarState
-from .versioning import BOTTOM_VE, SharableClock, TOP_VE, VersionEpoch
+from ..trace.batch import ACCESS01_TABLE, EventBatch, RUN_MASK_TABLE
+from .backend import PackedVarStore
+from .clocks import Epoch, ReadMap, TID_BITS, TID_MASK, epoch_leq_vc
+from .engine import pacer_access_packed, pacer_kernel
+from .metadata import SyncMeta, ThreadMeta, VarState, footprint_words
+from .versioning import VE_BOTTOM, VE_TOP, SharableClock
 
 __all__ = ["PacerDetector"]
 
 
-#: kind-id byte -> run-mask byte.  Reads/writes keep their own ids (0/1)
-#: so one translated mask drives both run-splitting and bulk read/write
-#: counting (``count(0/1, i, j)``).  ``m_enter``/``m_exit``/``alloc``
-#: (ids 10-12) are no-ops for PACER, so they ride along inside runs as
-#: byte 3; only synchronization actions and period boundaries (byte 2)
-#: break a run (``find(2, i)``).
-_RUN_MASK_TABLE = bytes(b if b <= 1 else (3 if b >= 10 else 2) for b in range(256))
-
-#: kind-id byte -> 1 for accesses, 0 otherwise; selector for bulk
-#: thread-set updates over runs that contain riding no-op events.
-_ACCESS01_TABLE = bytes(1 if b <= 1 else 0 for b in range(256))
+#: the run-scan translation tables live with the columnar encoding now;
+#: the old private names remain as aliases for external readers
+_RUN_MASK_TABLE = RUN_MASK_TABLE
+_ACCESS01_TABLE = ACCESS01_TABLE
 
 
 class PacerDetector(Detector):
@@ -64,8 +59,9 @@ class PacerDetector(Detector):
         use_sharing: bool = True,
         discard_metadata: bool = True,
         reclaim_dead_threads: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(backend)
         self.sampling = sampling
         self.use_versions = use_versions
         self.use_sharing = use_sharing
@@ -74,7 +70,12 @@ class PacerDetector(Detector):
         self._thread: Dict[int, ThreadMeta] = {}
         self._lock: Dict[int, SyncMeta] = {}
         self._vol: Dict[int, SyncMeta] = {}
-        self._vars: Dict[int, VarState] = {}
+        if self.backend_name == "packed":
+            self._arena: Optional[PackedVarStore] = PackedVarStore()
+            self._vars: Optional[Dict[int, VarState]] = None
+        else:
+            self._arena = None
+            self._vars = {}
 
     # -- metadata helpers ---------------------------------------------------
 
@@ -135,31 +136,33 @@ class PacerDetector(Detector):
         tmeta: ThreadMeta,
         tid: int,
         source_clock: Optional[SharableClock],
-        source_vepoch: VersionEpoch,
+        source_vepoch: int,
     ) -> None:
         """Vector clock join ``C_t <- C_t ⊔ C_o`` (Algorithm 11 / Table 7).
+
+        ``source_vepoch`` is a packed version epoch (``VE_BOTTOM``,
+        ``VE_TOP``, or ``pack_vepoch(v, t)``).
 
         Rule 4 (version fast path): already received this version — O(1).
         Rule 5 (happens-before): clocks ordered; record the version only.
         Rule 6 (concurrent): real join; clone first if shared.
         """
-        if source_clock is None or source_vepoch is BOTTOM_VE:
+        if source_clock is None or source_vepoch == VE_BOTTOM:
             # The source clock is the bottom clock; a join is a no-op.
             self._count_join(fast=True)
             return
-        real = source_vepoch is not TOP_VE
-        if (
-            self.use_versions
-            and real
-            and tmeta.ver.get(source_vepoch.tid) >= source_vepoch.version
-        ):
-            self._count_join(fast=True)  # Rule 4: same version epoch
-            return
+        real = source_vepoch != VE_TOP
+        if real:
+            sv_tid = source_vepoch & TID_MASK
+            sv_version = source_vepoch >> TID_BITS
+            if self.use_versions and tmeta.ver.get(sv_tid) >= sv_version:
+                self._count_join(fast=True)  # Rule 4: same version epoch
+                return
         self._count_join(fast=False)
         if source_clock.leq(tmeta.clock):
             # Rule 5: ordered; no join needed, just learn the version.
             if real:
-                tmeta.ver.set(source_vepoch.tid, source_vepoch.version)
+                tmeta.ver.set(sv_tid, sv_version)
             return
         # Rule 6: concurrent — perform the join.
         clock = tmeta.clock
@@ -171,7 +174,7 @@ class PacerDetector(Detector):
         clock.join(source_clock)
         tmeta.ver.increment(tid)
         if real:
-            tmeta.ver.set(source_vepoch.tid, source_vepoch.version)
+            tmeta.ver.set(sv_tid, sv_version)
 
     # -- sampling period boundaries (Table 5) -----------------------------------
 
@@ -263,13 +266,13 @@ class PacerDetector(Detector):
             self.counters.words_allocated += 2
         ve = sync.vepoch
         subsumes = False
-        if ve is BOTTOM_VE:
+        if ve == VE_BOTTOM:
             subsumes = True
             self._count_join(fast=True)
         elif (
             self.use_versions
-            and ve is not TOP_VE
-            and tmeta.ver.get(ve.tid) >= ve.version
+            and ve != VE_TOP
+            and tmeta.ver.get(ve & TID_MASK) >= (ve >> TID_BITS)
         ):
             subsumes = True  # Table 7 Rule 7: same version epoch
             self._count_join(fast=True)
@@ -287,7 +290,7 @@ class PacerDetector(Detector):
                 self.counters.clones += 1
                 self.counters.words_allocated += 1 + len(clock)
             clock.join(tmeta.clock)
-            sync.vepoch = TOP_VE
+            sync.vepoch = VE_TOP
         self._inc(tmeta, tid)
 
     # -- batched fast path -----------------------------------------------------------
@@ -316,6 +319,13 @@ class PacerDetector(Detector):
         ):
             # a subclass hooked the method events; take the generic path
             super().apply_batch(batch)
+            return
+        if self._arena is not None:
+            # packed backend: same run-bulking, one folded access kernel
+            pacer_kernel(
+                self, batch.kinds, batch.tids, batch.targets, batch.sites,
+                self._events_seen,
+            )
             return
         kinds = batch.kinds
         tids = batch.tids
@@ -490,6 +500,9 @@ class PacerDetector(Detector):
     # -- reads and writes (Algorithms 12 and 13, Table 4) ---------------------------
 
     def read(self, tid: int, var: int, site: int = 0) -> None:
+        if self._arena is not None:
+            pacer_access_packed(self, 0, tid, var, site, self._events_seen - 1)
+            return
         state = self._vars.get(var)
         if not self.sampling and state is None:
             self.counters.reads_fast_nonsampling += 1  # inlined fast path
@@ -537,6 +550,9 @@ class PacerDetector(Detector):
             self._maybe_discard(var, state)
 
     def write(self, tid: int, var: int, site: int = 0) -> None:
+        if self._arena is not None:
+            pacer_access_packed(self, 1, tid, var, site, self._events_seen - 1)
+            return
         state = self._vars.get(var)
         if not self.sampling and state is None:
             self.counters.writes_fast_nonsampling += 1  # inlined fast path
@@ -603,7 +619,19 @@ class PacerDetector(Detector):
     @property
     def tracked_variables(self) -> int:
         """Number of variables with live metadata (space proxy)."""
+        if self._arena is not None:
+            return len(self._arena)
         return len(self._vars)
+
+    def var_view(self, var: int) -> Optional[VarState]:
+        """``var``'s metadata as a :class:`VarState` on either backend.
+
+        Introspection for tests and tools; on the packed backend the view
+        is a reconstruction and does not write back to the arena.
+        """
+        if self._arena is not None:
+            return self._arena.view(var)
+        return self._vars.get(var)
 
     def max_clock_entries(self) -> int:
         """Largest live vector clock across threads and sync objects."""
@@ -619,19 +647,18 @@ class PacerDetector(Detector):
 
     def footprint_words(self) -> int:
         """Live metadata footprint; shared clocks are counted once."""
-        total = 0
-        for state in self._vars.values():
-            total += state.words()
-        seen = set()
-        for meta in self._thread.values():
-            if id(meta.clock) not in seen:
-                seen.add(id(meta.clock))
-                total += 1 + len(meta.clock)
-            total += 1 + len(meta.ver)
-        for table in (self._lock, self._vol):
-            for sync in table.values():
-                total += 2  # vepoch word + pointer
-                if id(sync.clock) not in seen:
-                    seen.add(id(sync.clock))
-                    total += 1 + len(sync.clock)
-        return total
+        if self._arena is not None:
+            var_words = self._arena.words()
+        else:
+            var_words = sum(state.words() for state in self._vars.values())
+        return footprint_words(
+            var_words,
+            chain(
+                (meta.clock for meta in self._thread.values()),
+                (sync.clock for sync in self._lock.values()),
+                (sync.clock for sync in self._vol.values()),
+            ),
+            versions=(meta.ver for meta in self._thread.values()),
+            # vepoch word + pointer per sync object
+            sync_overhead=2 * (len(self._lock) + len(self._vol)),
+        )

@@ -31,13 +31,19 @@ from __future__ import annotations
 
 from typing import List, NamedTuple, Optional
 
-from .clocks import VectorClock
+from .clocks import TID_BITS, TID_MASK, MAX_TID, VectorClock
 
 __all__ = [
     "VersionEpoch",
     "BOTTOM_VE",
     "TOP_VE",
     "SharableClock",
+    "VE_BOTTOM",
+    "VE_TOP",
+    "pack_vepoch",
+    "unpack_vepoch",
+    "vepoch_version",
+    "vepoch_tid",
 ]
 
 
@@ -58,6 +64,55 @@ BOTTOM_VE = VersionEpoch(0, -1)
 TOP_VE = VersionEpoch(-1, -2)
 
 
+# -- packed version epochs ---------------------------------------------------
+#
+# The detectors store version epochs packed into one int, mirroring
+# ``pack_epoch``: ``(version << TID_BITS) | tid``.  Versions start at 1
+# (``inc_t(⊥v)`` runs before any sync op, Equation 7), so real packed
+# vepochs are >= ``1 << TID_BITS`` and the small sentinels below are
+# unambiguous.  The :class:`VersionEpoch` NamedTuple remains the
+# unpacked/reporting form.
+
+#: Packed ⊥ve — initial version epoch (a real vepoch is always >= 2^TID_BITS).
+VE_BOTTOM = 0
+
+#: Packed ⊤ve — multi-thread join; the version fast path must fail.
+VE_TOP = -1
+
+
+def pack_vepoch(version: int, tid: int) -> int:
+    """Pack ``v@t`` into ``(version << TID_BITS) | tid``.
+
+    ``version`` must be positive and ``tid`` must fit in
+    :data:`~repro.core.clocks.TID_BITS`; the sentinels :data:`VE_BOTTOM`
+    and :data:`VE_TOP` are not constructible through this function.
+    """
+    if not 0 <= tid <= MAX_TID:
+        raise ValueError(f"tid {tid} outside [0, {MAX_TID}]")
+    if version <= 0:
+        raise ValueError(f"version {version} must be >= 1")
+    return (version << TID_BITS) | tid
+
+
+def unpack_vepoch(packed: int) -> VersionEpoch:
+    """Inverse of :func:`pack_vepoch`; sentinels map to their NamedTuples."""
+    if packed == VE_BOTTOM:
+        return BOTTOM_VE
+    if packed == VE_TOP:
+        return TOP_VE
+    return VersionEpoch(packed >> TID_BITS, packed & TID_MASK)
+
+
+def vepoch_version(packed: int) -> int:
+    """Version field of a packed (non-sentinel) vepoch."""
+    return packed >> TID_BITS
+
+
+def vepoch_tid(packed: int) -> int:
+    """Thread-id field of a packed (non-sentinel) vepoch."""
+    return packed & TID_MASK
+
+
 class SharableClock(VectorClock):
     """A vector clock that may be shared by several synchronization objects.
 
@@ -73,8 +128,19 @@ class SharableClock(VectorClock):
         self.shared = False
 
     def clone(self) -> "SharableClock":
-        """Deep, unshared copy (the paper's ``clone`` operation)."""
+        """Deep, unshared copy (the paper's ``clone`` operation).
+
+        The result never aliases this clock's component list, even when
+        this clock is marked ``shared`` — cloning is exactly how a shared
+        clock escapes copy-on-write before a mutation.
+        """
         return SharableClock(self._c)
 
     def copy(self) -> "SharableClock":
+        """Alias for :meth:`clone`: deep, unshared copy.
+
+        Overrides :meth:`VectorClock.copy` so that code handling plain
+        vector clocks still gets a :class:`SharableClock` back (unshared,
+        like every freshly constructed clock).
+        """
         return self.clone()

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..core.backend import resolve_backend
 from ..core.stats import OpCounters, PerfCounters
 from ..trace.batch import DEFAULT_BATCH_SIZE, EventBatch, iter_batches
 from ..trace.events import (
@@ -91,7 +92,11 @@ class Detector:
     #: human-readable name used in tables and benchmark output
     name = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, backend: Optional[str] = None) -> None:
+        #: resolved state-backend name ("object" or "packed"); detectors
+        #: with epoch-compressible per-variable state (FASTTRACK, PACER)
+        #: switch storage layouts on it, the rest carry it as a label
+        self.backend_name = resolve_backend(backend)
         self.races: List[Race] = []
         self.counters = OpCounters()
         self.perf = PerfCounters()

@@ -15,7 +15,7 @@ measurably less per-access work.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from .generic import GenericDetector
 
@@ -27,8 +27,8 @@ class DjitPlusDetector(GenericDetector):
 
     name = "djit+"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, backend: Optional[str] = None) -> None:
+        super().__init__(backend)
         # (tid, var) -> (clock, was_write) of the last analyzed access
         self._frame: Dict[Tuple[int, int], Tuple[int, bool]] = {}
 

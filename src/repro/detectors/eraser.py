@@ -47,8 +47,8 @@ class EraserDetector(Detector):
 
     name = "eraser"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, backend: Optional[str] = None) -> None:
+        super().__init__(backend)
         self._held: Dict[int, Set[int]] = {}  # tid -> locks held
         self._vars: Dict[int, _VarLockset] = {}
 

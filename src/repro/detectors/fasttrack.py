@@ -13,27 +13,46 @@ lifecycle with PACER's.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Dict, Optional
 
+from ..core.backend import PackedVarStore
 from ..core.clocks import Epoch, ReadMap, VectorClock, epoch_leq_vc
-from ..core.metadata import VarState
+from ..core.engine import fasttrack_kernel
+from ..core.metadata import VarState, footprint_words
 from ..trace.batch import EventBatch
 from .base import Detector, Race, READ_WRITE, WRITE_READ, WRITE_WRITE
 
 __all__ = ["FastTrackDetector"]
 
+#: singleton kind columns for the scalar-through-kernel packed path
+_RD = (0,)
+_WR = (1,)
+
 
 class FastTrackDetector(Detector):
-    """Sound and precise detector with O(1) common-case access analysis."""
+    """Sound and precise detector with O(1) common-case access analysis.
+
+    Per-variable state lives behind the state-backend seam: the
+    ``object`` backend keeps the :class:`VarState` dict the algorithm map
+    points at, the ``packed`` backend (default) an integer-array arena
+    driven by :func:`~repro.core.engine.fasttrack_kernel` for scalar and
+    batched dispatch alike.
+    """
 
     name = "fasttrack"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, backend: Optional[str] = None) -> None:
+        super().__init__(backend)
         self._thread_clock: Dict[int, VectorClock] = {}
         self._lock_clock: Dict[int, VectorClock] = {}
         self._vol_clock: Dict[int, VectorClock] = {}
-        self._vars: Dict[int, VarState] = {}
+        if self.backend_name == "packed":
+            self._arena: Optional[PackedVarStore] = PackedVarStore()
+            self._vars: Optional[Dict[int, VarState]] = None
+        else:
+            self._arena = None
+            self._vars = {}
 
     # -- metadata helpers -------------------------------------------------
 
@@ -80,6 +99,11 @@ class FastTrackDetector(Detector):
     # -- accesses (Algorithms 7 and 8) ------------------------------------------
 
     def read(self, tid: int, var: int, site: int = 0) -> None:
+        if self._arena is not None:
+            fasttrack_kernel(
+                self, _RD, (tid,), (var,), (site,), self._events_seen - 1
+            )
+            return
         self.counters.reads_slow_sampling += 1
         clock = self._clock_of(tid)
         state = self._var(var)
@@ -98,6 +122,11 @@ class FastTrackDetector(Detector):
             self.counters.words_allocated += 2
 
     def write(self, tid: int, var: int, site: int = 0) -> None:
+        if self._arena is not None:
+            fasttrack_kernel(
+                self, _WR, (tid,), (var,), (site,), self._events_seen - 1
+            )
+            return
         self.counters.writes_slow_sampling += 1
         clock = self._clock_of(tid)
         state = self._var(var)
@@ -134,6 +163,12 @@ class FastTrackDetector(Detector):
             or cls.method_exit is not Detector.method_exit
         ):
             super().apply_batch(batch)
+            return
+        if self._arena is not None:
+            fasttrack_kernel(
+                self, batch.kinds, batch.tids, batch.targets, batch.sites,
+                self._events_seen,
+            )
             return
         thread_clock = self._thread_clock
         vars_map = self._vars
@@ -323,7 +358,19 @@ class FastTrackDetector(Detector):
     @property
     def tracked_variables(self) -> int:
         """Number of variables with live metadata (space proxy)."""
+        if self._arena is not None:
+            return len(self._arena)
         return len(self._vars)
+
+    def var_view(self, var: int) -> Optional[VarState]:
+        """``var``'s metadata as a :class:`VarState` on either backend.
+
+        Introspection for tests and tools; on the packed backend the view
+        is a reconstruction and does not write back to the arena.
+        """
+        if self._arena is not None:
+            return self._arena.view(var)
+        return self._vars.get(var)
 
     def max_clock_entries(self) -> int:
         """Largest live vector clock across threads, locks, volatiles."""
@@ -335,13 +382,15 @@ class FastTrackDetector(Detector):
         return best
 
     def footprint_words(self) -> int:
-        total = 0
-        for state in self._vars.values():
-            total += state.words()
-        for clock in self._thread_clock.values():
-            total += 1 + len(clock)
-        for clock in self._lock_clock.values():
-            total += 1 + len(clock)
-        for clock in self._vol_clock.values():
-            total += 1 + len(clock)
-        return total
+        if self._arena is not None:
+            var_words = self._arena.words()
+        else:
+            var_words = sum(state.words() for state in self._vars.values())
+        return footprint_words(
+            var_words,
+            chain(
+                self._thread_clock.values(),
+                self._lock_clock.values(),
+                self._vol_clock.values(),
+            ),
+        )

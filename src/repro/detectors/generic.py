@@ -9,9 +9,11 @@ oracle tests (it is sound and precise, merely slow).
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Dict, Optional, Tuple
 
 from ..core.clocks import VectorClock
+from ..core.metadata import footprint_words
 from .base import Detector, READ_WRITE, WRITE_READ, WRITE_WRITE
 
 __all__ = ["GenericDetector"]
@@ -49,12 +51,17 @@ class _VarVectors:
 
 
 class GenericDetector(Detector):
-    """Sound and precise detector with O(n) analysis everywhere."""
+    """Sound and precise detector with O(n) analysis everywhere.
+
+    GENERIC's full read/write vectors have no epoch-compressible layout,
+    so both state backends share this one representation; ``backend`` is
+    accepted (and carried as a label) for a uniform construction API.
+    """
 
     name = "generic"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, backend: Optional[str] = None) -> None:
+        super().__init__(backend)
         self._thread_clock: Dict[int, VectorClock] = {}
         self._lock_clock: Dict[int, VectorClock] = {}
         self._vol_clock: Dict[int, VectorClock] = {}
@@ -158,13 +165,14 @@ class GenericDetector(Detector):
     # -- accounting -----------------------------------------------------------
 
     def footprint_words(self) -> int:
-        total = 0
-        for state in self._vars.values():
-            total += state.reads.words() + state.writes.words()
-        for clock in self._thread_clock.values():
-            total += 1 + len(clock)
-        for clock in self._lock_clock.values():
-            total += 1 + len(clock)
-        for clock in self._vol_clock.values():
-            total += 1 + len(clock)
-        return total
+        return footprint_words(
+            sum(
+                state.reads.words() + state.writes.words()
+                for state in self._vars.values()
+            ),
+            chain(
+                self._thread_clock.values(),
+                self._lock_clock.values(),
+                self._vol_clock.values(),
+            ),
+        )

@@ -73,8 +73,8 @@ class GoldilocksDetector(Detector):
 
     name = "goldilocks"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, backend: Optional[str] = None) -> None:
+        super().__init__(backend)
         self._vars: Dict[int, _VarLocksets] = {}
         # inverted index: element -> live locksets containing it
         self._index: Dict[Tuple[str, int], List[_Lockset]] = {}

@@ -44,8 +44,9 @@ class LiteRaceDetector(FastTrackDetector):
         burst_length: int = 1000,
         min_rate: float = 0.001,
         seed: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(backend)
         self.burst_length = burst_length
         self.min_rate = min_rate
         self._rng = random.Random(seed)

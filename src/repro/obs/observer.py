@@ -178,6 +178,13 @@ class RunObserver:
         self.probe(detector, final_vt)
         reg = self.registry
         reg.count_many("ops", detector.counters.snapshot(), "op")
+        # label the run with its state representation so space/throughput
+        # series from different backends never get silently mixed
+        reg.counter(
+            "detector_runs",
+            detector=detector.name,
+            backend=getattr(detector, "backend_name", "object"),
+        ).inc()
         # live runs pump Detector.apply directly, leaving perf.events at
         # zero — virtual time is the event count there
         reg.counter("events").inc(detector.perf.events or final_vt)

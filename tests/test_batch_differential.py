@@ -139,6 +139,42 @@ def test_batched_equals_scalar_with_sampling_periods(seed):
     )
 
 
+#: detectors whose state layout actually switches with the backend
+#: (plus literace, which samples *into* the FASTTRACK layout)
+BACKEND_DETECTORS = [
+    ("fasttrack", lambda backend: FastTrackDetector(backend=backend)),
+    ("pacer", lambda backend: PacerDetector(backend=backend)),
+    ("pacer-sampling", lambda backend: PacerDetector(sampling=True, backend=backend)),
+    ("pacer-nodiscard", lambda backend: PacerDetector(
+        discard_metadata=False, backend=backend)),
+    ("literace", lambda backend: LiteRaceDetector(seed=99, backend=backend)),
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_object_and_packed_backends_agree(seed):
+    """The packed arena backend is observationally identical to the
+    reference object backend: same race reports (down to indices), same
+    operation counters, same footprint words, same thread bookkeeping —
+    on both the scalar and the batched dispatch path."""
+    name, build = GENERATORS[seed % len(GENERATORS)]
+    plain = _trace_for(build, seed)
+    marked = _with_sampling_periods(plain, seed)
+    for det_name, make in BACKEND_DETECTORS:
+        for events, variant in ((plain, "plain"), (marked, "marked")):
+            obj = make("object")
+            obj.run(list(events))
+            packed_scalar = make("packed")
+            packed_scalar.run(list(events))
+            packed_batched = make("packed")
+            packed_batched.run_batch(list(events), batch_size=37)
+            label = f"{det_name}/{name}/seed{seed}/{variant}"
+            assert _full_state(obj) == _full_state(packed_scalar), label
+            assert _full_state(obj) == _full_state(packed_batched), (
+                f"{label} (batched)"
+            )
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_pacer_full_rate_is_fasttrack(seed):
     """PACER at r=1.0 (always sampling) reports exactly FASTTRACK races."""

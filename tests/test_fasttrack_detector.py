@@ -69,19 +69,21 @@ class TestRaceDetection:
 
 
 class TestEpochTransitions:
+    # metadata introspection goes through ``var_view``, which reconstructs
+    # the same VarState shape on either state backend
+
     def test_read_same_epoch_is_noop(self):
         d = FastTrackDetector()
         d.run([rd(0, X, site=1)])
-        state = d._vars[X]
-        before = list(state.read.entries())
+        before = list(d.var_view(X).read.entries())
         d.apply(rd(0, X, site=9))  # same epoch: no update at all
-        assert list(state.read.entries()) == before
+        assert list(d.var_view(X).read.entries()) == before
 
     def test_read_map_inflates_for_concurrent_reads(self):
         d = FastTrackDetector()
         d.run([fork(0, 1), rd(0, X), rd(1, X)])
-        assert not d._vars[X].read.is_epoch
-        assert len(d._vars[X].read) == 2
+        assert not d.var_view(X).read.is_epoch
+        assert len(d.var_view(X).read) == 2
 
     def test_ordered_reads_stay_epoch(self):
         d = FastTrackDetector()
@@ -93,30 +95,30 @@ class TestEpochTransitions:
                 acq(1, L), rd(1, X),
             ]
         )
-        assert d._vars[X].read.is_epoch
-        assert d._vars[X].read.epoch.tid == 1
+        assert d.var_view(X).read.is_epoch
+        assert d.var_view(X).read.epoch.tid == 1
 
     def test_write_clears_read_map(self):
         # the paper's modified FASTTRACK clears R at writes
         d = FastTrackDetector()
         d.run([fork(0, 1), rd(0, X), rd(1, X), wr(0, X)])
-        assert d._vars[X].read is None
+        assert d.var_view(X).read is None
 
     def test_write_epoch_recorded(self):
         d = FastTrackDetector()
         d.run([wr(0, X)])
-        assert d._vars[X].write == Epoch(1, 0)
+        assert d.var_view(X).write == Epoch(1, 0)
 
     def test_same_epoch_write_is_noop(self):
         d = FastTrackDetector()
         d.run([wr(0, X, site=1), rd(0, Y), wr(0, X, site=2)])
-        assert d._vars[X].write_site == 1  # second write skipped
+        assert d.var_view(X).write_site == 1  # second write skipped
 
     def test_release_advances_epoch(self):
         d = FastTrackDetector()
         d.run([wr(0, X, site=1), acq(0, L), rel(0, L), wr(0, X, site=2)])
-        assert d._vars[X].write_site == 2
-        assert d._vars[X].write == Epoch(2, 0)
+        assert d.var_view(X).write_site == 2
+        assert d.var_view(X).write == Epoch(2, 0)
 
 
 class TestEquivalenceWithGeneric:
@@ -149,4 +151,4 @@ class TestAccounting:
     def test_epoch_cheaper_than_read_map(self):
         epoch_d = run([rd(0, X)])
         map_d = run([fork(0, 1), fork(0, 2), rd(0, X), rd(1, X), rd(2, X)])
-        assert map_d._vars[X].read.words() > epoch_d._vars[X].read.words()
+        assert map_d.var_view(X).read.words() > epoch_d.var_view(X).read.words()

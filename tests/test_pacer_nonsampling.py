@@ -126,7 +126,8 @@ class TestDiscardRules:
                 rd(1, X, site=2),  # FASTTRACK would overwrite: discard
             ]
         )
-        assert d._vars.get(X) is None or d._vars[X].read is None
+        view = d.var_view(X)
+        assert view is None or view.read is None
 
     def test_unsampled_concurrent_read_keeps_epoch(self):
         # Table 4 Rule 4: a concurrent read epoch is NOT discarded.
@@ -138,7 +139,7 @@ class TestDiscardRules:
                 rd(1, X, site=2),  # concurrent with the sampled read
             ]
         )
-        assert d._vars[X].read is not None
+        assert d.var_view(X).read is not None
         d.apply(wr(1, X, site=3))
         assert ("rw", 1, 3) in {(r.kind, r.first_site, r.second_site) for r in d.races}
 

@@ -6,7 +6,7 @@ invariant (a known version implies clock ordering).
 """
 
 from repro import PacerDetector
-from repro.core.versioning import BOTTOM_VE, TOP_VE
+from repro.core.versioning import VE_BOTTOM, VE_TOP, vepoch_tid, vepoch_version
 from repro.trace.events import acq, fork, join, rd, rel, sbegin, send, vol_rd, vol_wr, wr
 from repro.trace.generator import random_trace
 
@@ -93,8 +93,8 @@ class TestVersionFastPath:
         d = PacerDetector(sampling=False)
         d.run([acq(0, L), rel(0, L)])
         ve = d._lock[L].vepoch
-        assert ve not in (BOTTOM_VE, TOP_VE)
-        assert ve.tid == 0
+        assert ve not in (VE_BOTTOM, VE_TOP)
+        assert vepoch_tid(ve) == 0
 
     def test_acquire_unreleased_lock_is_fast(self):
         d = PacerDetector(sampling=False)
@@ -106,7 +106,7 @@ class TestVersionFastPath:
         d = PacerDetector(sampling=False)
         d.run([fork(0, 1), acq(0, L), rel(0, L), acq(1, L)])
         ve = d._lock[L].vepoch
-        assert d._thread[1].ver.get(ve.tid) >= ve.version
+        assert d._thread[1].ver.get(vepoch_tid(ve)) >= vepoch_version(ve)
 
     def test_versions_disabled_forces_slow_joins(self):
         trace = [fork(0, 1)] + [
@@ -135,9 +135,9 @@ class TestVersionFastPath:
                 for tid, tmeta in d._thread.items():
                     for sync in list(d._lock.values()) + list(d._vol.values()):
                         ve = sync.vepoch
-                        if ve is BOTTOM_VE or ve is TOP_VE:
+                        if ve in (VE_BOTTOM, VE_TOP):
                             continue
-                        if tmeta.ver.get(ve.tid) >= ve.version:
+                        if tmeta.ver.get(vepoch_tid(ve)) >= vepoch_version(ve):
                             assert sync.clock.leq(tmeta.clock)
 
 
@@ -171,13 +171,13 @@ class TestVolatileVersions:
     def test_totally_ordered_volatile_keeps_version_epoch(self):
         d = PacerDetector(sampling=False)
         d.run([vol_wr(0, V), vol_rd(0, V), vol_wr(0, V)])
-        assert d._vol[V].vepoch is not TOP_VE
-        assert d._vol[V].vepoch is not BOTTOM_VE
+        assert d._vol[V].vepoch != VE_TOP
+        assert d._vol[V].vepoch != VE_BOTTOM
 
     def test_concurrent_volatile_writes_top_out(self):
         d = PacerDetector(sampling=True)
         d.run([fork(0, 1), vol_wr(0, V), vol_wr(1, V)])
-        assert d._vol[V].vepoch is TOP_VE
+        assert d._vol[V].vepoch == VE_TOP
 
     def test_top_ve_forces_full_comparison_on_read(self):
         d = PacerDetector(sampling=True)

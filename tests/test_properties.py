@@ -254,7 +254,7 @@ def test_pacer_ablation_flags_do_not_change_reports(trace):
 @given(feasible_traces(with_sampling=True))
 def test_pacer_lemma7_invariant(trace):
     """Ver(o) ⪯ C_t.ver implies S_o.vc ⊑ C_t.vc (Lemma 7)."""
-    from repro.core.versioning import BOTTOM_VE, TOP_VE
+    from repro.core.versioning import VE_BOTTOM, VE_TOP, vepoch_tid, vepoch_version
 
     d = PacerDetector()
     for event in trace:
@@ -262,7 +262,122 @@ def test_pacer_lemma7_invariant(trace):
     for tid, tmeta in d._thread.items():
         for sync in list(d._lock.values()) + list(d._vol.values()):
             ve = sync.vepoch
-            if ve is BOTTOM_VE or ve is TOP_VE:
+            if ve in (VE_BOTTOM, VE_TOP):
                 continue
-            if tmeta.ver.get(ve.tid) >= ve.version:
+            if tmeta.ver.get(vepoch_tid(ve)) >= vepoch_version(ve):
                 assert sync.clock.leq(tmeta.clock)
+
+
+# -- packed-state representation ----------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(1, 2**40),
+    st.integers(0, 2**20 - 1),
+)
+def test_packed_epoch_round_trip(clock, tid):
+    """pack_epoch/unpack_epoch is the identity on the valid domain."""
+    from repro.core.clocks import Epoch, pack_epoch, unpack_epoch
+
+    packed = pack_epoch(clock, tid)
+    assert unpack_epoch(packed) == Epoch(clock, tid)
+    assert packed > 0  # never collides with the packed bottom epoch
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(1, 2**40), st.integers(0, 2**20 - 1),
+    st.integers(1, 2**40), st.integers(0, 2**20 - 1),
+)
+def test_packed_epoch_preserves_clock_order(c1, t1, c2, t2):
+    """Integer comparison of packed epochs agrees with clock comparison
+    for same-thread epochs, and clock dominance wins across threads."""
+    from repro.core.clocks import pack_epoch
+
+    p1, p2 = pack_epoch(c1, t1), pack_epoch(c2, t2)
+    if t1 == t2:
+        assert (p1 < p2) == (c1 < c2)
+    if c1 < c2:
+        assert p1 < p2
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers())
+def test_packed_epoch_rejects_out_of_range(value):
+    """tids outside TID_BITS and non-positive clocks never pack."""
+    import pytest
+
+    from repro.core.clocks import MAX_TID, pack_epoch
+    from repro.core.versioning import pack_vepoch
+
+    if not 0 <= value <= MAX_TID:
+        with pytest.raises(ValueError):
+            pack_epoch(1, value)
+        with pytest.raises(ValueError):
+            pack_vepoch(1, value)
+    if value <= 0:
+        with pytest.raises(ValueError):
+            pack_epoch(value, 0)
+        with pytest.raises(ValueError):
+            pack_vepoch(value, 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(1, 2**40), st.integers(0, 2**20 - 1))
+def test_packed_vepoch_round_trip(version, tid):
+    from repro.core.versioning import (
+        VE_BOTTOM,
+        VE_TOP,
+        VersionEpoch,
+        pack_vepoch,
+        unpack_vepoch,
+        vepoch_tid,
+        vepoch_version,
+    )
+
+    packed = pack_vepoch(version, tid)
+    assert unpack_vepoch(packed) == VersionEpoch(version, tid)
+    assert vepoch_version(packed) == version
+    assert vepoch_tid(packed) == tid
+    assert packed not in (VE_BOTTOM, VE_TOP)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(1, 30), st.integers(0, 9)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_readmap_inflate_transitions(records):
+    """ReadMap state machine: epoch until a second thread records, then a
+    shared map that exactly mirrors a reference dict; words() tracks the
+    representation (2 for an epoch, 2 + 2*len for a map)."""
+    from repro.core.clocks import ReadMap
+
+    first_tid, first_clock, first_site = records[0]
+    rm = ReadMap(first_tid, first_clock, first_site)
+    reference = {first_tid: (first_clock, first_site, -1)}
+    inflated = False
+    for tid, clock, site in records[1:]:
+        rm.record(tid, clock, site)
+        reference[tid] = (clock, site, -1)
+        if tid != first_tid:
+            inflated = True
+        if not inflated:
+            # same-thread records overwrite the epoch in place
+            reference = {tid: (clock, site, -1)}
+    assert rm.is_epoch == (not inflated)
+    assert {t: (c, s, i) for t, c, s, i in rm.entries()} == reference
+    if inflated:
+        assert rm.words() == 2 + 2 * len(reference)
+        # discard removes single entries but never deflates back
+        victim = next(iter(reference))
+        rm.discard(victim)
+        reference.pop(victim)
+        assert not rm.is_epoch
+        assert rm.words() == 2 + 2 * len(reference)
+    else:
+        assert rm.words() == 2

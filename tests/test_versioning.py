@@ -1,7 +1,18 @@
 """Unit tests for version epochs and sharable clocks."""
 
+import pytest
+
 from repro.core.metadata import SyncMeta, ThreadMeta
-from repro.core.versioning import BOTTOM_VE, SharableClock, TOP_VE, VersionEpoch
+from repro.core.versioning import (
+    BOTTOM_VE,
+    SharableClock,
+    TOP_VE,
+    VE_BOTTOM,
+    VE_TOP,
+    VersionEpoch,
+    pack_vepoch,
+    unpack_vepoch,
+)
 
 
 class TestVersionEpochs:
@@ -19,6 +30,22 @@ class TestVersionEpochs:
 
     def test_str(self):
         assert str(VersionEpoch(2, 3)) == "v2@3"
+
+    def test_packed_sentinels_distinct_from_real(self):
+        assert VE_BOTTOM != VE_TOP
+        real = pack_vepoch(1, 0)
+        assert real not in (VE_BOTTOM, VE_TOP)
+
+    def test_pack_unpack_round_trip(self):
+        assert unpack_vepoch(pack_vepoch(7, 4)) == VersionEpoch(7, 4)
+        assert unpack_vepoch(VE_BOTTOM) is BOTTOM_VE
+        assert unpack_vepoch(VE_TOP) is TOP_VE
+
+    def test_pack_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_vepoch(0, 0)  # version 0 is reserved for the sentinel
+        with pytest.raises(ValueError):
+            pack_vepoch(1, -1)
 
 
 class TestSharableClock:
@@ -46,6 +73,17 @@ class TestSharableClock:
         a.join(b)
         assert a.get(1) == 2
 
+    def test_clone_after_sharing_never_aliases_components(self):
+        # Regression: a clone taken after shared=True must own its own
+        # component list — otherwise a later increment on the clone would
+        # silently corrupt every sync object referencing the original.
+        clock = SharableClock([4, 7])
+        clock.shared = True
+        for fresh in (clock.clone(), clock.copy()):
+            assert fresh._c is not clock._c
+            fresh.increment(1)
+            assert clock.get(1) == 7
+
 
 class TestMetadataInitialState:
     def test_thread_meta_equation7(self):
@@ -58,13 +96,13 @@ class TestMetadataInitialState:
 
     def test_thread_vepoch(self):
         meta = ThreadMeta(2)
-        assert meta.vepoch(2) == VersionEpoch(1, 2)
+        assert meta.vepoch(2) == pack_vepoch(1, 2)
         meta.ver.increment(2)
-        assert meta.vepoch(2) == VersionEpoch(2, 2)
+        assert meta.vepoch(2) == pack_vepoch(2, 2)
 
     def test_sync_meta_initial(self):
         sync = SyncMeta()
-        assert sync.vepoch is BOTTOM_VE
+        assert sync.vepoch == VE_BOTTOM
         assert len(sync.clock) == 0
 
 
@@ -79,18 +117,15 @@ class TestFootprintReference:
 
         def reference(d):
             return footprint_words(
-                d._vars,
-                {t: m.clock for t, m in d._thread.items()},
-                {t: m.ver for t, m in d._thread.items()},
-                {
-                    key: s.clock
-                    for key, s in list(d._lock.items()) + list(d._vol.items())
-                },
+                sum(state.words() for state in d._vars.values()),
+                [m.clock for m in d._thread.values()]
+                + [s.clock for s in list(d._lock.values()) + list(d._vol.values())],
+                versions=[m.ver for m in d._thread.values()],
             )
 
-        small = PacerDetector(sampling=True)
+        small = PacerDetector(sampling=True, backend="object")
         small.run(random_trace(seed=1, length=50))
-        big = PacerDetector(sampling=True)
+        big = PacerDetector(sampling=True, backend="object")
         big.run(random_trace(seed=1, length=800, n_vars=30))
         for d in (small, big):
             ref, own = reference(d), d.footprint_words()
@@ -104,9 +139,8 @@ class TestFootprintReference:
         from repro.core.clocks import VectorClock
 
         clock = SharableClock([1, 2, 3])
-        shared = footprint_words({}, {0: clock, 1: clock}, {}, {2: clock})
+        shared = footprint_words(clocks=[clock, clock, clock])
         separate = footprint_words(
-            {}, {0: SharableClock([1, 2, 3]), 1: SharableClock([1, 2, 3])},
-            {}, {2: SharableClock([1, 2, 3])},
+            clocks=[SharableClock([1, 2, 3]) for _ in range(3)]
         )
         assert shared < separate
