@@ -55,6 +55,7 @@ __all__ = [
     "trial_metrics",
     "run_matrix",
     "merge_matrix",
+    "matrix_report",
     "default_jobs",
 ]
 
@@ -260,6 +261,35 @@ def run_matrix(
     if missing:  # pragma: no cover - pool misbehavior
         raise RuntimeError(f"shards dropped tasks at indices {missing}")
     return results  # type: ignore[return-value]
+
+
+def matrix_report(
+    tasks: Sequence[TrialTask],
+    results: Sequence[CoreStats],
+    source: str = "matrix",
+) -> Dict:
+    """One merged race-report document for a whole matrix run.
+
+    Built from each trial's ``race_sigs`` (the deterministic result core
+    workers already ship — no flight recorder crosses process
+    boundaries) and folded in task order, so like the merged metrics the
+    document is byte-identical for any ``--jobs`` value.
+    """
+    # imported here to keep module import light and cycle-free
+    from ..obs.reports import merge_reports, report_from_sigs
+
+    docs = [
+        report_from_sigs(
+            stats.race_sigs,
+            source=source,
+            detector=task.detector,
+            backend=task.backend,
+            rate=task.rate,
+            events=stats.events,
+        )
+        for task, stats in zip(tasks, results)
+    ]
+    return merge_reports(docs, source=source)
 
 
 def merge_matrix(

@@ -8,6 +8,10 @@ Commands:
   (``--batch`` uses the columnar batched fast path; both print
   events/sec and ns/event from the detector's perf counters).
 * ``oracle``    — exact happens-before ground truth for a trace file.
+* ``explain``   — replay a trace (or a seeded workload) with a flight
+  recorder attached and explain every distinct race: happens-before
+  witness, sampling attribution, surrounding event context, and (for
+  PACER) why each unreported shortest race was discarded.
 * ``detect``    — run a workload live under a detector (PACER with a
   sampling rate, or any always-on detector).
 * ``profile``   — run a workload live with full observability: metrics
@@ -21,8 +25,10 @@ Commands:
 ``analyze`` and ``matrix`` accept ``--json`` for machine-readable output
 (races + counters + metrics), and ``analyze``/``detect``/``matrix`` all
 take ``--metrics-out``/``--trace-out`` (plus ``--timeline-out`` where a
-single run produces a timeline).  Trace file formats are auto-detected
-(binary traces start with the ``PACR`` magic); ``--format`` forces one.
+single run produces a timeline) and ``--report-out`` for the structured
+race report (``repro/race-report/v1``; shard-merged deterministically on
+``matrix``).  Trace file formats are auto-detected (binary traces start
+with the ``PACR`` magic); ``--format`` forces one.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from .analysis.parallel import (
     DETECTOR_FACTORIES,
     default_jobs,
     expand_matrix,
+    matrix_report,
     merge_matrix,
     run_matrix,
 )
@@ -45,8 +52,19 @@ from .analysis.tables import render_table
 from .core.backend import BACKENDS, DEFAULT_BACKEND
 from .core.pacer import PacerDetector
 from .core.sampling import BiasCorrectedController
-from .obs import RunObserver, matrix_trace_events, write_chrome_trace
+from .obs import (
+    FlightRecorder,
+    RunObserver,
+    SyncIndex,
+    build_report,
+    matrix_trace_events,
+    render_report_markdown,
+    render_report_table,
+    write_chrome_trace,
+    write_report,
+)
 from .obs.observer import DEFAULT_SAMPLE_EVERY
+from .obs.provenance import DEFAULT_WINDOW
 from .detectors import (
     Detector,
     DjitPlusDetector,
@@ -58,7 +76,7 @@ from .detectors import (
 )
 from .sim.runtime import Runtime, RuntimeConfig
 from .sim.scheduler import run_program
-from .sim.workloads import WORKLOADS, build_program
+from .sim.workloads import WORKLOADS, build_program, describe_site
 from .trace.batch import DEFAULT_BATCH_SIZE
 from .trace.binio import MAGIC, dump_trace_binary, load_trace_binary
 from .trace.oracle import HBOracle
@@ -119,17 +137,56 @@ def _wants_observer(args) -> bool:
         or getattr(args, "metrics_out", None)
         or getattr(args, "timeline_out", None)
         or getattr(args, "trace_out", None)
+        or getattr(args, "report_out", None)
     )
 
 
 def _make_observer(args) -> Optional[RunObserver]:
     """An observer when any observability output was requested, else None
-    (the disabled path: detectors see a single untaken branch)."""
+    (the disabled path: detectors see a single untaken branch).  A race
+    report sink additionally attaches a flight recorder, which opts the
+    run into per-event context capture."""
     if not _wants_observer(args):
         return None
+    recorder = None
+    if getattr(args, "report_out", None):
+        recorder = FlightRecorder(window=getattr(args, "window", DEFAULT_WINDOW))
     return RunObserver(
-        sample_every=getattr(args, "sample_every", None) or DEFAULT_SAMPLE_EVERY
+        sample_every=getattr(args, "sample_every", None) or DEFAULT_SAMPLE_EVERY,
+        recorder=recorder,
     )
+
+
+def _write_report_output(
+    obs: Optional[RunObserver],
+    detector: Detector,
+    args,
+    source: str,
+    events: int,
+    rate: Optional[float] = None,
+    sync: Optional[SyncIndex] = None,
+    site_name=None,
+    quiet: bool = False,
+) -> None:
+    """Build and write the structured race report when requested."""
+    if not getattr(args, "report_out", None) or obs is None:
+        return
+    if sync is None and obs.recorder is not None:
+        sync = SyncIndex.from_recorder(obs.recorder)
+    doc = build_report(
+        detector.races,
+        source=source,
+        detector=detector.name,
+        backend=detector.backend_name,
+        rate=rate,
+        events=events,
+        contexts=obs.race_contexts,
+        sync=sync,
+        site_name=site_name,
+    )
+    write_report(Path(args.report_out), doc)
+    if not quiet:
+        print(f"wrote race report to {args.report_out}")
 
 
 def _write_obs_outputs(obs: Optional[RunObserver], args, quiet: bool = False) -> None:
@@ -170,6 +227,11 @@ def _add_obs_arguments(
     p.add_argument(
         "--trace-out", default=trace_default, metavar="PATH",
         help="write a Chrome-trace/Perfetto profile (load in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write a structured race report (repro/race-report/v1 JSON); "
+        "attaches a flight recorder for per-race context capture",
     )
     p.add_argument(
         "--sample-every", type=int, default=DEFAULT_SAMPLE_EVERY, metavar="N",
@@ -253,6 +315,13 @@ def cmd_analyze(args) -> int:
         detector.run(trace)
     if obs is not None:
         obs.finalize(detector)
+    # the whole trace is in memory, so witnesses come from the exact sync
+    # index rather than the bounded flight-recorder window
+    _write_report_output(
+        obs, detector, args, "analyze", detector.perf.events,
+        sync=SyncIndex.from_trace(trace) if args.report_out else None,
+        quiet=args.json,
+    )
     if args.json:
         _print_json(
             {
@@ -318,6 +387,11 @@ def cmd_detect(args) -> int:
         print(f"effective sampling rate: {runtime.effective_sampling_rate:.2%}")
     _print_races(detector, args.limit)
     _write_obs_outputs(obs, args)
+    _write_report_output(
+        obs, detector, args, "detect", runtime.events,
+        rate=None if args.rate is None else args.rate / 100.0,
+        site_name=describe_site,
+    )
     return 0
 
 
@@ -363,6 +437,11 @@ def cmd_profile(args) -> int:
         f"{runtime.context_switches} context switches"
     )
     _write_obs_outputs(obs, args)
+    _write_report_output(
+        obs, detector, args, "profile", runtime.events,
+        rate=None if controller is None else controller.rate,
+        site_name=describe_site,
+    )
     return 0
 
 
@@ -382,6 +461,10 @@ def cmd_matrix(args) -> int:
         _write_matrix_metrics(Path(args.metrics_out), merged)
         if not args.json:
             print(f"wrote merged metrics snapshot to {args.metrics_out}")
+    if args.report_out:
+        write_report(Path(args.report_out), matrix_report(tasks, results))
+        if not args.json:
+            print(f"wrote merged race report to {args.report_out}")
     if args.trace_out:
         write_chrome_trace(
             Path(args.trace_out), matrix_trace_events(zip(tasks, results))
@@ -470,6 +553,148 @@ def _write_matrix_metrics(path: Path, merged) -> None:
         fh.write("\n")
 
 
+def _pacer_discard_attribution(trace, detector, sync: SyncIndex, cap: int = 50) -> List[Dict]:
+    """Why each unreported shortest race was discarded (PACER only).
+
+    Compares the happens-before oracle's *reportable* races — the pairs a
+    precise always-on detector reports — against PACER's actual reports.
+    PACER's guarantee is that a race is reported iff its first access
+    falls in a sampling period; the attribution names the period (or its
+    absence) for every miss.
+    """
+    reported = {(r.var, r.index) for r in detector.races}
+    out: List[Dict] = []
+    for pair in HBOracle(trace).reportable_races():
+        key = (pair.first.var, pair.second.index)
+        if key in reported:
+            continue
+        period = sync.period_of(pair.first.index)
+        if period is None:
+            reason = (
+                f"first access (vt {pair.first.index}) fell outside every "
+                f"sampling period — discarded per the paper's Table 4 rules"
+            )
+        else:
+            reason = (
+                f"first access was inside sampling period {period} yet the "
+                f"race went unreported — unexpected for PACER; check the "
+                f"detector"
+            )
+        out.append(
+            {
+                "kind": pair.kind,
+                "var": pair.first.var,
+                "first_vt": pair.first.index,
+                "second_vt": pair.second.index,
+                "first_site": pair.first.site,
+                "second_site": pair.second.site,
+                "first_tid": pair.first.tid,
+                "second_tid": pair.second.tid,
+                "reason": reason,
+            }
+        )
+        if len(out) >= cap:
+            break
+    return out
+
+
+def cmd_explain(args) -> int:
+    """Replay a trace (or a seeded workload) and explain each race."""
+    path = Path(args.trace)
+    site_resolver = None
+    if path.exists():
+        trace = _load(path, args.format)
+    elif args.trace in WORKLOADS:
+        spec = WORKLOADS[args.trace].scaled(args.scale)
+        trace = run_program(build_program(spec, args.seed), seed=args.seed)
+        site_resolver = describe_site
+    else:
+        print(
+            f"{args.trace!r} is neither a trace file nor a workload "
+            f"(choices: {', '.join(sorted(WORKLOADS))})",
+            file=sys.stderr,
+        )
+        return 2
+    detector = DETECTORS[args.detector](backend=args.state_backend)
+    recorder = FlightRecorder(window=args.window)
+    obs = RunObserver(
+        sample_every=args.sample_every or DEFAULT_SAMPLE_EVERY, recorder=recorder
+    )
+    obs.attach(detector)
+    detector.run(trace)
+    obs.finalize(detector)
+    sync = SyncIndex.from_trace(trace)
+    discarded = None
+    if args.detector == "pacer":
+        discarded = _pacer_discard_attribution(trace, detector, sync)
+    doc = build_report(
+        detector.races,
+        source="explain",
+        detector=detector.name,
+        backend=detector.backend_name,
+        rate=None,
+        events=len(trace),
+        contexts=obs.race_contexts,
+        sync=sync,
+        site_name=site_resolver,
+        discarded=discarded,
+    )
+    if args.report_out:
+        write_report(Path(args.report_out), doc)
+    if args.markdown_out:
+        with open(args.markdown_out, "w", encoding="utf-8") as fh:
+            fh.write(render_report_markdown(doc, limit=args.races))
+    if args.trace_out:
+        obs.write_trace(Path(args.trace_out))
+    if args.json:
+        _print_json(doc)
+        return 0
+    print(render_report_table(doc, limit=args.limit))
+    for n, race in enumerate(doc["races"][: args.races], start=1):
+        witness = race.get("witness")
+        if witness is None:
+            continue
+        first = race.get("first_site_name") or race["first_site"]
+        second = race.get("second_site_name") or race["second_site"]
+        print(f"\nrace {n}: {first} x {second} [{'+'.join(race['kinds'])}]")
+        print(f"  {witness['verdict']}: {witness['summary']}")
+        sampling = witness.get("sampling")
+        if sampling:
+            print(
+                f"  sampling: first access in period {sampling['first_period']}, "
+                f"second in {sampling['second_period']} "
+                f"(of {sampling['n_periods']})"
+            )
+        context = race.get("context") or {}
+        for side, label in ((context.get("first"), "first"),
+                            (context.get("second"), "second")):
+            if not side:
+                continue
+            mark = "" if side.get("complete") else " (window truncated)"
+            print(f"  {label} access context — t{side['tid']}{mark}:")
+            for ev in side["events"]:
+                print(
+                    f"    vt {ev['vt']:>6}  {ev['kind']:<7} "
+                    f"target={ev['target']} site={ev['site']}"
+                )
+    if discarded:
+        print(f"\n{len(discarded)} shortest race(s) went unreported:")
+        for entry in discarded[: args.races]:
+            print(
+                f"  [{entry['kind']}] var {entry['var']} "
+                f"vt {entry['first_vt']} vs {entry['second_vt']}: "
+                f"{entry['reason']}"
+            )
+    for out, label in (
+        (args.report_out, "race report"),
+        (args.markdown_out, "Markdown report"),
+        (args.trace_out, "Perfetto trace"),
+    ):
+        if out:
+            print(f"wrote {label} to {out}")
+    return 0
+
+
 def cmd_convert(args) -> int:
     trace = _load(Path(args.input), "auto")
     _dump(trace, Path(args.output), args.format)
@@ -524,6 +749,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(p)
     _add_obs_arguments(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "explain",
+        help="replay a trace (or workload) and explain each race with a "
+        "happens-before witness and flight-recorder context",
+    )
+    p.add_argument(
+        "trace",
+        help="a trace file, or a workload name to generate one (seeded)",
+    )
+    p.add_argument("--detector", choices=sorted(DETECTORS), default="fasttrack")
+    p.add_argument("--format", choices=["auto", "text", "binary"], default="auto")
+    p.add_argument("--seed", type=int, default=0, help="workload trial seed")
+    p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    p.add_argument(
+        "--races", type=int, default=5, metavar="N",
+        help="number of distinct races to detail (default 5)",
+    )
+    p.add_argument("--limit", type=int, default=20, help="table rows")
+    p.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW, metavar="N",
+        help=f"flight-recorder events kept per thread (default {DEFAULT_WINDOW})",
+    )
+    p.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the structured race report (repro/race-report/v1 JSON)",
+    )
+    p.add_argument(
+        "--markdown-out", default=None, metavar="PATH",
+        help="write the report rendered as Markdown",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto trace with race flow arrows "
+        "(open in ui.perfetto.dev)",
+    )
+    p.add_argument(
+        "--sample-every", type=int, default=DEFAULT_SAMPLE_EVERY, metavar="N",
+        help="probe cadence for the bundled Perfetto trace",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the report document instead of tables",
+    )
+    _add_backend_argument(p)
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("oracle", help="exact happens-before ground truth")
     p.add_argument("trace")
@@ -598,6 +869,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="write a Perfetto coverage trace of the matrix (one span per trial)",
+    )
+    p.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the merged, jobs-independent race report as JSON",
     )
     _add_backend_argument(p)
     p.set_defaults(func=cmd_matrix)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..core.backend import resolve_backend
 from ..core.stats import OpCounters, PerfCounters
@@ -35,12 +35,18 @@ from ..trace.events import (
     WRITE,
 )
 
-__all__ = ["Race", "Detector", "NullDetector", "distinct_races"]
+__all__ = ["Race", "SiteId", "Detector", "NullDetector", "distinct_races"]
 
 #: Race kinds: first access kind followed by second access kind.
 WRITE_WRITE = "ww"
 WRITE_READ = "wr"
 READ_WRITE = "rw"
+
+#: A program site: synthetic workloads use stable integer ids, while the
+#: live frontend (:mod:`repro.live`) records real ``file:line`` strings.
+#: Sites are only stored, compared, and rendered — never arithmetic — so
+#: both representations flow through every detector and backend.
+SiteId = Union[int, str]
 
 
 @dataclass(frozen=True)
@@ -57,14 +63,14 @@ class Race:
     kind: str  # one of "ww", "wr", "rw"
     first_tid: int
     first_clock: int
-    first_site: int
+    first_site: SiteId
     second_tid: int
-    second_site: int
+    second_site: SiteId
     index: int = -1  # trace position of the second access, if known
     first_index: int = -1  # trace position of the first access, if known
 
     @property
-    def distinct_key(self) -> Tuple[int, int]:
+    def distinct_key(self) -> Tuple[SiteId, SiteId]:
         """Static identity of the race: the pair of program sites."""
         return (self.first_site, self.second_site)
 
@@ -76,7 +82,7 @@ class Race:
         )
 
 
-def distinct_races(races: Iterable[Race]) -> Set[Tuple[int, int]]:
+def distinct_races(races: Iterable[Race]) -> Set[Tuple[SiteId, SiteId]]:
     """The set of static (site-pair) races in a report list."""
     return {r.distinct_key for r in races}
 
@@ -146,6 +152,8 @@ class Detector:
             for event in events:
                 self.apply(event)
                 count += 1
+        elif getattr(obs, "recorder", None) is not None:
+            return self._run_recorded(events, obs)
         else:
             cadence = obs.sample_every
             for event in events:
@@ -171,6 +179,14 @@ class Detector:
         encoded :class:`EventBatch`.
         """
         obs = self.observer
+        if obs is not None and getattr(obs, "recorder", None) is not None:
+            # flight recording needs per-event capture in trace order, so
+            # the batched fast path is bypassed — scalar and batched
+            # dispatch then produce byte-identical provenance
+            return self._run_recorded(
+                (e for batch in iter_batches(events, batch_size) for e in batch),
+                obs,
+            )
         start = time.perf_counter_ns()
         count = 0
         batches = 0
@@ -196,6 +212,40 @@ class Detector:
             perf.max_batch = max_batch
         return self.races
 
+    def _run_recorded(self, events: Iterable[Event], obs) -> List[Race]:
+        """Scalar replay with flight recording and report-time capture.
+
+        Every event lands in the observer's
+        :class:`~repro.obs.provenance.FlightRecorder` *before* analysis,
+        and any race the analysis appends — whether through
+        :meth:`report` or directly from the engine kernels'
+        ``races_append`` — triggers ``obs.on_race`` while the
+        surrounding events are still in the rings.  Used by both
+        :meth:`run` and :meth:`run_batch` so provenance is identical
+        across dispatch modes.
+        """
+        rec = obs.recorder
+        start = time.perf_counter_ns()
+        count = 0
+        cadence = obs.sample_every
+        races = self.races
+        known = len(races)
+        record = rec.record
+        for event in events:
+            record(self._events_seen, event.kind, event.tid, event.target,
+                   event.site)
+            self.apply(event)
+            count += 1
+            if len(races) > known:
+                for race in races[known:]:
+                    obs.on_race(self, race)
+                known = len(races)
+            if count % cadence == 0:
+                obs.on_events(self, self._events_seen)
+        self.perf.elapsed_ns += time.perf_counter_ns() - start
+        self.perf.events += count
+        return races
+
     def apply_batch(self, batch: EventBatch) -> None:
         """Process one encoded batch.
 
@@ -214,7 +264,7 @@ class Detector:
             dispatch[kid](Event(id_to_kind[kid], tid, target, site))
 
     @property
-    def distinct_races(self) -> Set[Tuple[int, int]]:
+    def distinct_races(self) -> Set[Tuple[SiteId, SiteId]]:
         """Static site-pair identities of all reported races."""
         return distinct_races(self.races)
 
@@ -255,10 +305,10 @@ class Detector:
 
     # -- typed events (subclass responsibilities) ---------------------------
 
-    def read(self, tid: int, var: int, site: int = 0) -> None:
+    def read(self, tid: int, var: int, site: SiteId = 0) -> None:
         raise NotImplementedError
 
-    def write(self, tid: int, var: int, site: int = 0) -> None:
+    def write(self, tid: int, var: int, site: SiteId = 0) -> None:
         raise NotImplementedError
 
     def acquire(self, tid: int, lock: int) -> None:
@@ -312,9 +362,9 @@ class Detector:
         kind: str,
         first_tid: int,
         first_clock: int,
-        first_site: int,
+        first_site: SiteId,
         second_tid: int,
-        second_site: int,
+        second_site: SiteId,
         first_index: int = -1,
     ) -> None:
         """Record a race report; analysis continues afterwards."""

@@ -36,8 +36,22 @@ import sys
 import threading
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from ..detectors.base import Detector
+from ..detectors.base import Detector, SiteId
 from ..detectors.fasttrack import FastTrackDetector
+from ..obs.reports import build_report, render_report_table
+from ..obs.provenance import SyncIndex
+from ..trace.events import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    SBEGIN,
+    SEND,
+    VOL_READ,
+    VOL_WRITE,
+    WRITE,
+)
 
 __all__ = ["RaceMonitor", "SharedVar", "TrackedLock", "TrackedThread"]
 
@@ -46,21 +60,36 @@ class RaceMonitor:
     """Bridges real ``threading`` activity into a race detector.
 
     All detector calls are serialized by an internal mutex, so the
-    analysis itself never races.  Thread ids, variable ids, lock ids,
-    and site ids are interned; :meth:`site_name` maps a site id back to
-    ``file:line`` for reporting.
+    analysis itself never races.  Thread ids, variable ids, and lock ids
+    are interned; access *sites* are real ``file:line`` strings (the
+    :class:`~repro.detectors.base.Race` site type admits both ints and
+    strings), so race reports point straight at source locations.
+
+    Pass ``observer=RunObserver(...)`` to plug a live run into the same
+    observability stack as offline runs: :meth:`finalize` then emits the
+    standard ``detector_runs``/``events``/``races`` metrics, and an
+    observer carrying a :class:`~repro.obs.provenance.FlightRecorder`
+    captures per-race context that :meth:`race_report` turns into the
+    structured ``repro/race-report/v1`` document.
     """
 
-    def __init__(self, detector: Optional[Detector] = None) -> None:
+    def __init__(
+        self,
+        detector: Optional[Detector] = None,
+        observer=None,
+    ) -> None:
         self.detector = detector if detector is not None else FastTrackDetector()
+        self.observer = observer
+        if observer is not None:
+            observer.attach(self.detector)
         self._mutex = threading.Lock()
         self._tids: Dict[int, int] = {}  # threading ident -> detector tid
         self._next_tid = 0
         self._vars: Dict[str, int] = {}
         self._locks: Dict[str, int] = {}
         self._vols: Dict[str, int] = {}
-        self._sites: Dict[Tuple[str, int], int] = {}
-        self._site_names: Dict[int, str] = {}
+        self._sites: Dict[Tuple[str, int], str] = {}
+        self._site_names: Dict[str, str] = {}
 
     # -- interning ----------------------------------------------------------
 
@@ -80,19 +109,21 @@ class RaceMonitor:
                 table[name] = base + len(table)
             return table[name]
 
-    def _site(self, depth: int = 2) -> int:
+    def _site(self, depth: int = 2) -> str:
         frame = sys._getframe(depth)
         key = (frame.f_code.co_filename, frame.f_lineno)
         with self._mutex:
             site = self._sites.get(key)
             if site is None:
-                site = 1 + len(self._sites)
+                site = f"{key[0]}:{key[1]}"
                 self._sites[key] = site
-                self._site_names[site] = f"{key[0]}:{key[1]}"
+                self._site_names[site] = site
             return site
 
-    def site_name(self, site: int) -> str:
-        """Source location (``file:line``) for a reported site id."""
+    def site_name(self, site: SiteId) -> str:
+        """Source location (``file:line``) for a reported site."""
+        if isinstance(site, str):
+            return site
         return self._site_names.get(site, f"site#{site}")
 
     # -- factories ------------------------------------------------------------
@@ -117,24 +148,60 @@ class RaceMonitor:
 
     # -- event entry points (serialized) -----------------------------------------
 
-    def on_read(self, var: int, site: int) -> None:
-        tid = self._tid()
-        with self._mutex:
-            self.detector.read(tid, var, site)
+    def _pre_event(self, kind: str, tid: int, target: int, site: SiteId) -> int:
+        """Per-event bookkeeping before dispatch (mutex held).
 
-    def on_write(self, var: int, site: int) -> None:
+        The typed detector methods don't advance ``_events_seen`` on
+        their own (offline, ``apply`` does it), so the monitor advances
+        the virtual clock here — live races then carry real trace
+        indices — and mirrors the event into the observer's flight
+        recorder, exactly like the offline recorded path.  Returns the
+        race count before dispatch, for :meth:`_post_event`.
+        """
+        det = self.detector
+        obs = self.observer
+        if obs is not None:
+            rec = getattr(obs, "recorder", None)
+            if rec is not None:
+                rec.record(det._events_seen, kind, tid, target, site)
+        det._events_seen += 1
+        return len(det.races)
+
+    def _post_event(self, known: int) -> None:
+        """Fire ``on_race`` for any race the dispatch just appended."""
+        obs = self.observer
+        if obs is None:
+            return
+        det = self.detector
+        races = det.races
+        if len(races) > known:
+            for race in races[known:]:
+                obs.on_race(det, race)
+
+    def on_read(self, var: int, site: SiteId) -> None:
         tid = self._tid()
         with self._mutex:
+            known = self._pre_event(READ, tid, var, site)
+            self.detector.read(tid, var, site)
+            self._post_event(known)
+
+    def on_write(self, var: int, site: SiteId) -> None:
+        tid = self._tid()
+        with self._mutex:
+            known = self._pre_event(WRITE, tid, var, site)
             self.detector.write(tid, var, site)
+            self._post_event(known)
 
     def on_acquire(self, lock: int) -> None:
         tid = self._tid()
         with self._mutex:
+            self._pre_event(ACQUIRE, tid, lock, 0)
             self.detector.acquire(tid, lock)
 
     def on_release(self, lock: int) -> None:
         tid = self._tid()
         with self._mutex:
+            self._pre_event(RELEASE, tid, lock, 0)
             self.detector.release(tid, lock)
 
     def on_fork(self, child_ident: int) -> None:
@@ -145,6 +212,7 @@ class RaceMonitor:
                 child = self._next_tid
                 self._next_tid += 1
                 self._tids[child_ident] = child
+            self._pre_event(FORK, parent, child, 0)
             self.detector.fork(parent, child)
 
     def on_join(self, child_ident: int) -> None:
@@ -152,28 +220,66 @@ class RaceMonitor:
         with self._mutex:
             child = self._tids.get(child_ident)
             if child is not None:
+                self._pre_event(JOIN, tid, child, 0)
                 self.detector.join(tid, child)
 
     def on_vol_read(self, vol: int) -> None:
         tid = self._tid()
         with self._mutex:
+            self._pre_event(VOL_READ, tid, vol, 0)
             self.detector.vol_read(tid, vol)
 
     def on_vol_write(self, vol: int) -> None:
         tid = self._tid()
         with self._mutex:
+            self._pre_event(VOL_WRITE, tid, vol, 0)
             self.detector.vol_write(tid, vol)
+
+    # -- reporting ----------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Flush the observer: emits the standard end-of-run metrics
+        (``detector_runs``, ``events``, ``races``) just like an offline
+        :meth:`~repro.detectors.base.Detector.run`.  Idempotent; no-op
+        without an observer."""
+        obs = self.observer
+        if obs is None:
+            return
+        with self._mutex:
+            obs.finalize(self.detector, self.detector._events_seen)
+
+    def race_report(self) -> Dict[str, Any]:
+        """The live run as a structured ``repro/race-report/v1`` document.
+
+        Witnesses come from the observer's flight recorder when one is
+        attached (``source: "recorder"`` — bounded, like online tools),
+        and per-race event context from the contexts captured at report
+        time.
+        """
+        det = self.detector
+        obs = self.observer
+        sync = None
+        contexts = None
+        if obs is not None:
+            rec = getattr(obs, "recorder", None)
+            if rec is not None:
+                sync = SyncIndex.from_recorder(rec)
+            contexts = obs.race_contexts or None
+        with self._mutex:
+            return build_report(
+                det.races,
+                source="live",
+                detector=det.name,
+                backend=det.backend_name,
+                events=det._events_seen,
+                contexts=contexts,
+                sync=sync,
+                site_name=self.site_name,
+            )
 
     def describe_races(self) -> str:
         """Human-readable race report with source locations."""
-        lines = []
-        for race in self.detector.races:
-            lines.append(
-                f"race[{race.kind}] t{race.first_tid} at "
-                f"{self.site_name(race.first_site)} vs t{race.second_tid} at "
-                f"{self.site_name(race.second_site)}"
-            )
-        return "\n".join(lines)
+        return render_report_table(self.race_report())
 
 
 class SharedVar:
@@ -323,11 +429,27 @@ class SamplingDriver:
         sample = self._rng.random() < self.rate
         self.periods += 1
         with self._monitor._mutex:
+            self._mark(sample)
             if sample:
                 self.sampled_periods += 1
                 detector.begin_sampling()
             else:
                 detector.end_sampling()
+
+    def _mark(self, entering: bool) -> None:
+        """Mirror the sampling transition into the flight recorder (mutex
+        held), so live witnesses carry sampling attribution too."""
+        obs = self._monitor.observer
+        if obs is not None:
+            rec = getattr(obs, "recorder", None)
+            if rec is not None:
+                rec.record(
+                    self._monitor.detector._events_seen,
+                    SBEGIN if entering else SEND,
+                    0,
+                    0,
+                    0,
+                )
 
     def _loop(self) -> None:
         while not self._stop.wait(self.period_s):
@@ -346,6 +468,7 @@ class SamplingDriver:
         if self._thread is not None:
             self._thread.join()
         with self._monitor._mutex:
+            self._mark(False)
             self._monitor.detector.end_sampling()
 
     def __enter__(self) -> "SamplingDriver":

@@ -1,6 +1,6 @@
 """``repro.obs`` — always-available, near-zero-cost observability.
 
-Three layers (see ``docs/OBSERVABILITY.md`` for the full catalog):
+Five layers (see ``docs/OBSERVABILITY.md`` for the full catalog):
 
 * :mod:`repro.obs.metrics` — a deterministic registry of counters,
   gauges, and fixed-bucket histograms with labeled series and JSON
@@ -9,12 +9,20 @@ Three layers (see ``docs/OBSERVABILITY.md`` for the full catalog):
   that samples detector state on virtual time into ``timeline.jsonl``
   and collects spans;
 * :mod:`repro.obs.perfetto` — Chrome trace-event / Perfetto JSON export
-  (``repro profile`` writes a file loadable in ``ui.perfetto.dev``).
+  (``repro profile`` writes a file loadable in ``ui.perfetto.dev``),
+  including race flow arrows linking the two accesses of each report;
+* :mod:`repro.obs.provenance` — the per-thread flight recorder and the
+  happens-before witness extractor behind race provenance;
+* :mod:`repro.obs.reports` — the versioned structured race-report
+  artifact (``repro/race-report/v1``) with deterministic merging,
+  validation, and table/Markdown rendering.
 
 Disabled-path contract: every hook site in the detectors, scheduler, and
 runtime guards on ``observer is None`` with a single branch, and the
 differential tests pin that an attached observer never changes races,
-counters, or metadata.
+counters, or metadata.  Flight recording is opt-in on top of that
+(``RunObserver(recorder=FlightRecorder())``) and leaves the disabled
+path untouched.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_metric_dicts
@@ -22,19 +30,43 @@ from .observer import RunObserver
 from .perfetto import (
     chrome_trace,
     matrix_trace_events,
+    race_flow_events,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from .provenance import FlightRecorder, SyncIndex, extract_witness
+from .reports import (
+    REPORT_SCHEMA,
+    build_report,
+    merge_reports,
+    render_report_markdown,
+    render_report_table,
+    report_from_sigs,
+    validate_report,
+    write_report,
 )
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "REPORT_SCHEMA",
     "RunObserver",
+    "SyncIndex",
+    "build_report",
     "chrome_trace",
+    "extract_witness",
     "matrix_trace_events",
     "merge_metric_dicts",
+    "merge_reports",
+    "race_flow_events",
+    "render_report_markdown",
+    "render_report_table",
+    "report_from_sigs",
     "validate_chrome_trace",
+    "validate_report",
     "write_chrome_trace",
+    "write_report",
 ]

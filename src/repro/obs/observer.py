@@ -18,7 +18,13 @@ Attach it to a detector (and optionally a runtime/scheduler) and it
 Cost discipline: every instrumented hot path guards with a single
 ``observer is None`` branch, and nothing here runs per event — probes
 fire per batch / per GC, sampling marks per period transition.  With no
-observer attached the instrumentation is one predictable branch.
+observer attached the instrumentation is one predictable branch.  The
+one deliberate exception is race provenance: when a
+:class:`~repro.obs.provenance.FlightRecorder` is attached via
+``RunObserver(recorder=...)``, the detector run loop records every event
+into bounded per-thread rings and :meth:`RunObserver.on_race` captures
+context at report time — an explicitly opt-in cost that never touches
+the disabled path.
 
 Determinism: probes are driven by *virtual* time only, so
 :meth:`timeline_jsonl` is byte-identical across repeated runs, ``--jobs``
@@ -40,6 +46,7 @@ from .perfetto import (
     counter_event,
     instant_event,
     process_metadata,
+    race_flow_events,
     span_event,
     validate_chrome_trace,
     write_chrome_trace,
@@ -69,11 +76,22 @@ class RunObserver:
         self,
         registry: Optional[MetricsRegistry] = None,
         sample_every: int = DEFAULT_SAMPLE_EVERY,
+        recorder=None,
     ) -> None:
         if sample_every <= 0:
             raise ValueError(f"sample_every must be positive, got {sample_every}")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.sample_every = sample_every
+        #: optional :class:`repro.obs.provenance.FlightRecorder`; when set,
+        #: ``Detector.run``/``run_batch`` take the per-event recording loop
+        #: and call :meth:`on_race` for every appended race report
+        self.recorder = recorder
+        #: flight-recorder context per race report, parallel to the
+        #: detector's race list (empty dicts when no recorder is attached)
+        self.race_contexts: List[Dict] = []
+        #: the detector's race list at finalize time — feeds the Perfetto
+        #: race-arrow flow events in :meth:`trace_events`
+        self.final_races: List = []
         self.timeline: List[Dict[str, int]] = []
         #: (virtual time, entering) sampling transitions, in order
         self.sampling_marks: List[Tuple[int, bool]] = []
@@ -118,6 +136,12 @@ class RunObserver:
     def on_events(self, detector, vt: int) -> None:
         """Scalar-dispatch progress hook (same cadence as batches)."""
         self.maybe_probe(detector, vt)
+
+    def on_race(self, detector, race) -> None:
+        """A race report was just appended; capture its flight-recorder
+        context while the surrounding events are still in the rings."""
+        rec = self.recorder
+        self.race_contexts.append(rec.capture(race) if rec is not None else {})
 
     def on_gc(self, detector, vt: int) -> None:
         """A nursery collection: the live path's natural probe boundary."""
@@ -174,6 +198,7 @@ class RunObserver:
         if self._finalized:
             return
         self._finalized = True
+        self.final_races = list(detector.races)
         final_vt = vt if vt is not None else max(self._final_vt, detector.perf.events)
         self.probe(detector, final_vt)
         reg = self.registry
@@ -271,6 +296,8 @@ class RunObserver:
             )
         for name, ts, pid in self.instants:
             events.append(instant_event(name, ts, pid))
+        if self.final_races:
+            events.extend(race_flow_events(self.final_races))
         return events
 
     def write_trace(self, path) -> None:

@@ -19,7 +19,9 @@ phases below are emitted:
 * ``M`` — process/thread names,
 * ``X`` — complete spans (``ts`` + ``dur``),
 * ``C`` — counter samples (``args`` maps series name to value),
-* ``i`` — instants (GC pulses, timed-wait clock jumps).
+* ``i`` — instants (GC pulses, timed-wait clock jumps),
+* ``s``/``f`` — flow start/finish pairs (race arrows linking the first
+  and second access of each reported race across thread tracks).
 
 :func:`validate_chrome_trace` checks those structural rules; the test
 suite and the CI smoke job run every exported trace through it.
@@ -33,10 +35,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 __all__ = [
     "PID_DETECTOR",
     "PID_SCHEDULER",
+    "PID_RACES",
     "chrome_trace",
     "counter_event",
     "instant_event",
     "matrix_trace_events",
+    "race_flow_events",
     "span_event",
     "validate_chrome_trace",
     "write_chrome_trace",
@@ -45,6 +49,7 @@ __all__ = [
 #: process ids used in exported traces
 PID_DETECTOR = 1
 PID_SCHEDULER = 2
+PID_RACES = 3
 
 #: detector-process track (tid) layout
 TID_PHASES = 0
@@ -180,6 +185,69 @@ def matrix_trace_events(cells) -> List[Dict]:
     return events
 
 
+def race_flow_events(races, site_name=None, limit: int = 256) -> List[Dict]:
+    """Flow arrows linking the two accesses of each reported race.
+
+    Emits, per race with known trace positions, a tiny span at each
+    access on a per-thread track in the ``races`` process plus an
+    ``s``/``f`` flow pair with a shared id — ui.perfetto.dev draws the
+    pair as an arrow from the first access to the second across thread
+    tracks.  Races whose first access position is unknown (``-1``, e.g.
+    detectors that never learn it) are skipped; ``limit`` bounds the
+    arrow count so pathological runs stay loadable.
+    """
+    if site_name is None:
+        site_name = str
+    events: List[Dict] = []
+    named: set = set()
+    emitted = 0
+    for n, race in enumerate(races):
+        i = getattr(race, "first_index", -1)
+        j = getattr(race, "index", -1)
+        if i < 0 or j < 0:
+            continue
+        if emitted >= limit:
+            break
+        emitted += 1
+        if not events:
+            events.append(meta_event("process_name", "races", PID_RACES))
+        for tid in (race.first_tid, race.second_tid):
+            if tid not in named:
+                named.add(tid)
+                events.append(
+                    meta_event("thread_name", f"t{tid}", PID_RACES, tid)
+                )
+        name = (
+            f"race[{race.kind}] {site_name(race.first_site)} -> "
+            f"{site_name(race.second_site)}"
+        )
+        args = {
+            "var": str(race.var),
+            "kind": race.kind,
+            "first_site": str(race.first_site),
+            "second_site": str(race.second_site),
+        }
+        events.append(
+            span_event(name, i, 1, PID_RACES, race.first_tid, cat="race",
+                       args=dict(args, access="first"))
+        )
+        events.append(
+            span_event(name, j, 1, PID_RACES, race.second_tid, cat="race",
+                       args=dict(args, access="second"))
+        )
+        flow_id = n + 1
+        events.append(
+            {"ph": "s", "name": name, "cat": "race", "id": flow_id,
+             "ts": i, "pid": PID_RACES, "tid": race.first_tid}
+        )
+        events.append(
+            {"ph": "f", "name": name, "cat": "race", "id": flow_id,
+             "ts": j, "pid": PID_RACES, "tid": race.second_tid,
+             "bp": "e"}  # bind to the enclosing access span
+        )
+    return events
+
+
 # -- validation ---------------------------------------------------------------
 
 _REQUIRED_BY_PHASE = {
@@ -187,6 +255,8 @@ _REQUIRED_BY_PHASE = {
     "X": ("name", "ts", "dur", "pid", "tid"),
     "C": ("name", "ts", "pid", "args"),
     "i": ("name", "ts", "pid"),
+    "s": ("name", "ts", "pid", "tid", "id"),
+    "f": ("name", "ts", "pid", "tid", "id"),
 }
 
 

@@ -1,6 +1,6 @@
 """Synthetic benchmarks calibrated to the paper's Table 2."""
 
-from .base import RacySite, WorkloadSpec, WORKLOADS, build_program
+from .base import RacySite, WorkloadSpec, WORKLOADS, build_program, describe_site
 from .eclipse import ECLIPSE
 from .hsqldb import HSQLDB
 from .micro import (
@@ -30,6 +30,7 @@ __all__ = [
     "WorkloadSpec",
     "WORKLOADS",
     "build_program",
+    "describe_site",
     "ECLIPSE",
     "HSQLDB",
     "XALAN",

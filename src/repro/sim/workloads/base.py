@@ -46,7 +46,7 @@ from ..program import (
     Write,
 )
 
-__all__ = ["RacySite", "WorkloadSpec", "build_program", "WORKLOADS"]
+__all__ = ["RacySite", "WorkloadSpec", "build_program", "describe_site", "WORKLOADS"]
 
 # id-space layout (keeps variables/locks/volatiles/sites disjoint & stable)
 SHARED_VAR_BASE = 0
@@ -56,6 +56,22 @@ VOL_BASE = 200_000
 RACY_SITE_BASE = 10_000
 HOT_METHOD = 1
 COLD_METHOD_BASE = 100
+
+
+def describe_site(site) -> str:
+    """Human-readable name for a site id, decoding the id-space layout.
+
+    Injected racy sites get symbolic names (``race#K:writer`` /
+    ``race#K:partner`` per :class:`RacySite`'s site assignment); live
+    frontend sites are already ``file:line`` strings and pass through;
+    everything else keeps its numeric identity.
+    """
+    if isinstance(site, str):
+        return site
+    if RACY_SITE_BASE <= site < LOCK_BASE:
+        race_id, role = divmod(site - RACY_SITE_BASE, 2)
+        return f"race#{race_id}:{'writer' if role == 0 else 'partner'}"
+    return f"site#{site}"
 
 
 @dataclass(frozen=True)

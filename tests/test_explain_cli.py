@@ -1,0 +1,159 @@
+"""The ``repro explain`` command: structured reports end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.reports import REPORT_SCHEMA, validate_report
+from repro.obs.perfetto import PID_RACES, validate_chrome_trace
+from repro.sim.workloads import describe_site
+from repro.sim.workloads.base import LOCK_BASE, RACY_SITE_BASE
+
+
+@pytest.fixture(scope="module")
+def explain_outputs(tmp_path_factory):
+    """One ``repro explain micro`` run with every sink enabled."""
+    out = tmp_path_factory.mktemp("explain")
+    report = out / "races.report.json"
+    markdown = out / "races.md"
+    trace = out / "explain.trace.json"
+    code = main(
+        [
+            "explain",
+            "micro",
+            "--seed",
+            "3",
+            "--report-out",
+            str(report),
+            "--markdown-out",
+            str(markdown),
+            "--trace-out",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    return {
+        "report": json.loads(report.read_text()),
+        "markdown": markdown.read_text(),
+        "trace": json.loads(trace.read_text()),
+    }
+
+
+class TestExplainReport:
+    def test_report_is_schema_valid(self, explain_outputs):
+        doc = explain_outputs["report"]
+        assert doc["schema"] == REPORT_SCHEMA
+        assert validate_report(doc) == []
+        assert doc["source"] == "explain"
+        assert doc["detector"] == "fasttrack"
+        assert doc["dynamic_races"] >= 1
+
+    def test_witness_names_the_injected_site_pair(self, explain_outputs):
+        """Acceptance: the witness belongs to the correct racy site pair."""
+        doc = explain_outputs["report"]
+        injected = [
+            g
+            for g in doc["races"]
+            if isinstance(g["first_site"], int)
+            and RACY_SITE_BASE <= g["first_site"] < LOCK_BASE
+        ]
+        assert injected, "micro's injected races must be reported"
+        for g in injected:
+            assert RACY_SITE_BASE <= g["second_site"] < LOCK_BASE
+            assert g["first_site_name"] == describe_site(g["first_site"])
+            assert g["first_site_name"].startswith("race#")
+            witness = g["witness"]
+            assert witness is not None
+            # precise detector, exact sync index: a real race shows either
+            # no release at all or a sync gap — never an ordering edge
+            assert witness["verdict"] in ("no-release", "sync-gap")
+            assert witness["source"] == "trace"
+            assert witness["complete"] is True
+
+    def test_sync_gap_witness_explains_the_gap(self, explain_outputs):
+        doc = explain_outputs["report"]
+        verdicts = {g["witness"]["verdict"] for g in doc["races"] if g["witness"]}
+        for g in doc["races"]:
+            witness = g["witness"]
+            if witness and witness["verdict"] == "sync-gap":
+                assert "no common object connects" in witness["summary"]
+                assert witness["releases_after_first"]
+        assert verdicts <= {"no-release", "sync-gap"}
+
+    def test_context_captured_for_racing_accesses(self, explain_outputs):
+        doc = explain_outputs["report"]
+        with_context = [g for g in doc["races"] if g.get("context")]
+        assert with_context
+        ctx = with_context[0]["context"]
+        assert ctx["second"]["events"]
+        assert ctx["second"]["complete"] is True
+
+    def test_markdown_rendering(self, explain_outputs):
+        text = explain_outputs["markdown"]
+        assert text.startswith("# Race report")
+        assert "## Race 1:" in text
+        assert "witness" in text
+
+
+class TestExplainFlowArrows:
+    def test_trace_has_race_flow_pairs(self, explain_outputs):
+        """Acceptance: each reported race appears as a Perfetto flow arrow."""
+        doc = explain_outputs["trace"]
+        assert validate_chrome_trace(doc) == []
+        events = doc["traceEvents"]
+        starts = {e["id"]: e for e in events if e.get("ph") == "s"}
+        finishes = {e["id"]: e for e in events if e.get("ph") == "f"}
+        assert starts, "expected at least one flow arrow"
+        assert set(starts) == set(finishes)
+        report = explain_outputs["report"]
+        assert len(starts) == min(report["dynamic_races"], 256)
+        for fid, s in starts.items():
+            f = finishes[fid]
+            assert s["pid"] == f["pid"] == PID_RACES
+            assert f["bp"] == "e"
+            assert s["ts"] <= f["ts"]
+
+
+class TestExplainModes:
+    def test_explain_recorded_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        assert main(["record", "micro", str(path), "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["explain", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic race reports" in out
+        assert "race 1:" in out
+
+    def test_json_output(self, capsys):
+        assert main(["explain", "micro", "--seed", "3", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == REPORT_SCHEMA
+        assert validate_report(doc) == []
+
+    def test_pacer_discard_attribution(self, capsys):
+        assert main(["explain", "micro", "--seed", "1", "--detector", "pacer",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_report(doc) == []
+        # replayed without a sampling controller: PACER samples nothing,
+        # reports nothing, and every shortest race gets an attribution
+        assert doc["dynamic_races"] == 0
+        assert doc["discarded"]
+        for entry in doc["discarded"]:
+            assert "sampling period" in entry["reason"]
+            assert entry["kind"] in ("ww", "wr", "rw")
+
+    def test_unknown_trace_or_workload_rejected(self, capsys):
+        assert main(["explain", "no-such-thing"]) == 2
+        assert "neither a trace file nor a workload" in capsys.readouterr().err
+
+    def test_window_flag_accepted(self, tmp_path):
+        report = tmp_path / "r.json"
+        assert main(
+            ["explain", "micro", "--seed", "3", "--window", "16",
+             "--report-out", str(report)]
+        ) == 0
+        doc = json.loads(report.read_text())
+        contexts = [g["context"] for g in doc["races"] if g.get("context")]
+        assert contexts and contexts[0]["window"] == 16
