@@ -7,15 +7,28 @@ from .experiments import (
     race_id_of,
     run_trial,
 )
+from .checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatch,
+    matrix_fingerprint,
+)
 from .parallel import (
     DETECTOR_FACTORIES,
     TrialTask,
     default_jobs,
     expand_matrix,
     merge_matrix,
+    require_complete,
     run_matrix,
     run_trial_task,
     task_seed,
+)
+from .supervisor import (
+    MatrixIncompleteError,
+    SupervisorConfig,
+    SupervisorOutcome,
+    run_supervised,
 )
 from .statistics import (
     binomial_ci_contains,
@@ -39,6 +52,15 @@ __all__ = [
     "run_matrix",
     "merge_matrix",
     "default_jobs",
+    "require_complete",
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointMismatch",
+    "matrix_fingerprint",
+    "MatrixIncompleteError",
+    "SupervisorConfig",
+    "SupervisorOutcome",
+    "run_supervised",
     "render_table",
     "render_series",
     "fmt",

@@ -17,16 +17,20 @@ construction:
   jobs and of shard scheduling.
 
 ``run_matrix(tasks, jobs=N)`` therefore returns *the same list* for any
-``N``; the determinism regression tests pin this.
+``N``; the determinism regression tests pin this.  Fan-out runs under
+the crash-isolated supervisor (:mod:`repro.analysis.supervisor`), which
+adds per-trial timeouts, bounded retries, and poison-task quarantine on
+top of the same determinism contract; checkpoint/resume journaling
+lives in :mod:`repro.analysis.checkpoint`.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
 import zlib
 from dataclasses import dataclass
-from multiprocessing import get_context
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.pacer import PacerDetector
@@ -57,6 +61,7 @@ __all__ = [
     "merge_matrix",
     "matrix_report",
     "default_jobs",
+    "require_complete",
 ]
 
 #: name -> detector factory taking an optional ``backend`` keyword
@@ -220,16 +225,52 @@ def trial_metrics(runtime: Runtime, detector: Detector) -> Dict[str, int]:
 
 
 def _run_shard(shard: List[Tuple[int, TrialTask]]) -> List[Tuple[int, CoreStats]]:
-    """Worker entry point: run one shard, keep the task indices."""
+    """Run one indexed shard in-process (kept for API compatibility;
+    the supervisor now dispatches trials individually)."""
     return [(index, run_trial_task(task)) for index, task in shard]
 
 
 def default_jobs() -> int:
-    """Job count from ``REPRO_JOBS`` (default 1: sequential, no pool)."""
+    """Job count from ``REPRO_JOBS`` (default 1: sequential, no pool).
+
+    An unparsable value is *announced*, not swallowed: silently running
+    a supposed ``REPRO_JOBS=8x`` campaign sequentially wastes hours.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+        return max(1, int(raw))
     except ValueError:
+        print(
+            f"repro: ignoring unparsable REPRO_JOBS={raw!r} "
+            f"(want an integer); running with 1 job",
+            file=sys.stderr,
+        )
         return 1
+
+
+def require_complete(
+    tasks: Sequence[TrialTask],
+    results: Sequence[Optional[CoreStats]],
+    allowed_missing: Iterable[int] = (),
+) -> None:
+    """Raise unless every non-quarantined task produced a result.
+
+    The error names each dropped trial's (workload, detector, rate,
+    seed) — an index alone is useless three hours into a campaign.
+    """
+    allowed = set(allowed_missing)
+    dropped = [
+        (i, tasks[i])
+        for i, stats in enumerate(results)
+        if stats is None and i not in allowed
+    ]
+    if dropped:
+        names = ", ".join(
+            f"#{i} (workload={t.workload!r}, detector={t.detector!r}, "
+            f"rate={t.rate}, seed={t.seed})"
+            for i, t in dropped
+        )
+        raise RuntimeError(f"matrix dropped {len(dropped)} task(s): {names}")
 
 
 def run_matrix(
@@ -237,30 +278,33 @@ def run_matrix(
     jobs: int = 1,
     shards_per_job: int = 4,
 ) -> List[CoreStats]:
-    """Run the matrix, optionally fanned across a process pool.
+    """Run the matrix, optionally fanned across supervised workers.
 
-    Tasks are dealt round-robin into ``jobs * shards_per_job`` shards
-    (several shards per worker smooths out uneven trial costs), each
-    shard carries its tasks' original indices, and results are sewn back
-    in index order — so the returned list is identical for any ``jobs``
-    value and any shard scheduling, which the determinism tests assert.
+    With ``jobs > 1`` trials run under the crash-isolated supervisor
+    (:func:`repro.analysis.supervisor.run_supervised`) in strict mode:
+    worker deaths and wedged trials are retried transparently, and a
+    trial that cannot complete raises
+    :class:`~repro.analysis.supervisor.MatrixIncompleteError` naming the
+    dropped (workload, detector, rate, seed) — never a silent gap.
+    Results are sewn back in task-index order, so the returned list is
+    identical for any ``jobs`` value and any retry/completion schedule,
+    which the determinism tests assert.  ``shards_per_job`` is accepted
+    for backward compatibility; the supervisor schedules per trial, so
+    shard geometry no longer exists to matter.
     """
+    del shards_per_job  # superseded by per-trial supervision
     if jobs <= 1 or len(tasks) <= 1:
-        return [run_trial_task(task) for task in tasks]
-    n_shards = min(len(tasks), jobs * max(1, shards_per_job))
-    shards: List[List[Tuple[int, TrialTask]]] = [[] for _ in range(n_shards)]
-    for index, task in enumerate(tasks):
-        shards[index % n_shards].append((index, task))
-    results: List[Optional[CoreStats]] = [None] * len(tasks)
-    ctx = get_context("spawn" if os.name == "nt" else "fork")
-    with ctx.Pool(processes=jobs) as pool:
-        for pairs in pool.imap_unordered(_run_shard, shards):
-            for index, stats in pairs:
-                results[index] = stats
-    missing = [i for i, r in enumerate(results) if r is None]
-    if missing:  # pragma: no cover - pool misbehavior
-        raise RuntimeError(f"shards dropped tasks at indices {missing}")
-    return results  # type: ignore[return-value]
+        results: List[CoreStats] = [run_trial_task(task) for task in tasks]
+        return results
+    # local import: supervisor imports this module for TrialTask et al.
+    from .supervisor import SupervisorConfig, run_supervised
+
+    outcome = run_supervised(
+        tasks,
+        SupervisorConfig(jobs=jobs, task_timeout=None, quarantine=False),
+    )
+    require_complete(tasks, outcome.results)
+    return [stats for stats in outcome.results if stats is not None]
 
 
 def matrix_report(

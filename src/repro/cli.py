@@ -20,6 +20,13 @@ Commands:
   (``profile.trace.json``, loadable in ui.perfetto.dev).
 * ``matrix``    — run a (workload × detector × rate × seed) experiment
   matrix, optionally fanned across worker processes with ``--jobs``.
+  Fan-out runs under a crash-isolated supervisor: per-trial wall-clock
+  timeouts, bounded retries, poison-task quarantine
+  (``--quarantine-out``), crash-safe progress journaling
+  (``--checkpoint``/``--resume``), and deterministic chaos testing
+  (``--fault-plan`` / ``$REPRO_FAULT_PLAN``) — see docs/ROBUSTNESS.md.
+* ``verify-trace`` — integrity-check a trace file: structure plus the
+  binary format's CRC32 trailer, ``--validate`` for feasibility.
 * ``convert``   — convert traces between the text and binary formats.
 
 ``analyze`` and ``matrix`` accept ``--json`` for machine-readable output
@@ -35,11 +42,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from .analysis.checkpoint import CheckpointError, CheckpointJournal
 from .analysis.parallel import (
     DETECTOR_FACTORIES,
     default_jobs,
@@ -47,6 +56,11 @@ from .analysis.parallel import (
     matrix_report,
     merge_matrix,
     run_matrix,
+)
+from .analysis.supervisor import (
+    MatrixIncompleteError,
+    SupervisorConfig,
+    run_supervised,
 )
 from .analysis.tables import render_table
 from .core.backend import BACKENDS, DEFAULT_BACKEND
@@ -78,10 +92,11 @@ from .sim.runtime import Runtime, RuntimeConfig
 from .sim.scheduler import run_program
 from .sim.workloads import WORKLOADS, build_program, describe_site
 from .trace.batch import DEFAULT_BATCH_SIZE
-from .trace.binio import MAGIC, dump_trace_binary, load_trace_binary
+from .trace.binio import MAGIC, describe_binary, dump_trace_binary, load_trace_binary
 from .trace.oracle import HBOracle
 from .trace.textio import dump_trace, load_trace
-from .trace.trace import Trace
+from .trace.trace import Trace, TraceError, TraceFormatError
+from .util.faults import FAULT_PLAN_ENV, FaultPlan, FaultPlanError
 
 __all__ = ["main", "DETECTORS"]
 
@@ -445,6 +460,26 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _quarantine_summary(doc: Dict) -> List[str]:
+    """Human lines for the quarantine section of a matrix run."""
+    lines = [
+        f"QUARANTINED {len(doc['quarantined'])} of {doc['total_tasks']} "
+        f"trial(s) after exhausting retries:"
+    ]
+    for entry in doc["quarantined"]:
+        kinds: Dict[str, int] = {}
+        for failure in entry["failures"]:
+            kinds[failure["kind"]] = kinds.get(failure["kind"], 0) + 1
+        history = ", ".join(f"{k} x{n}" for k, n in sorted(kinds.items()))
+        rate = "-" if entry["rate"] is None else f"{entry['rate']:.0%}"
+        lines.append(
+            f"  #{entry['index']} {entry['workload']}/{entry['detector']} "
+            f"rate {rate} seed {entry['seed']}: "
+            f"{entry['attempts']} attempts ({history})"
+        )
+    return lines
+
+
 def cmd_matrix(args) -> int:
     rates = [r / 100.0 for r in args.rates] if args.rates else [None]
     tasks = expand_matrix(
@@ -455,19 +490,89 @@ def cmd_matrix(args) -> int:
         scale=args.scale,
         backend=args.state_backend,
     )
-    results = run_matrix(tasks, jobs=args.jobs)
-    merged = merge_matrix(tasks, results)
+
+    fault_plan = None
+    fault_text = args.fault_plan or os.environ.get(FAULT_PLAN_ENV, "")
+    if fault_text.strip():
+        try:
+            fault_plan = FaultPlan.parse(fault_text)
+        except FaultPlanError as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
+
+    journal = completed = None
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.checkpoint:
+        path = Path(args.checkpoint)
+        try:
+            if args.resume and path.exists():
+                journal = CheckpointJournal.resume(path, tasks)
+                completed = dict(journal.completed)
+                if not args.json:
+                    print(
+                        f"resuming from {path}: {len(completed)} of "
+                        f"{len(tasks)} trial(s) already journaled"
+                    )
+            else:
+                journal = CheckpointJournal.create(path, tasks)
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 2
+
+    quarantine_doc = None
+    supervised = args.jobs > 1 or fault_plan is not None or journal is not None
+    if supervised:
+        config = SupervisorConfig(
+            jobs=max(1, args.jobs),
+            task_timeout=args.task_timeout if args.task_timeout > 0 else None,
+            max_attempts=args.max_attempts,
+            quarantine=not args.no_quarantine,
+            fault_plan=fault_plan,
+        )
+        on_result = journal.record if journal is not None else None
+        try:
+            outcome = run_supervised(
+                tasks, config, completed=completed, on_result=on_result
+            )
+        except MatrixIncompleteError as exc:
+            print(f"matrix failed: {exc}", file=sys.stderr)
+            return 1
+        pairs = outcome.surviving_pairs(tasks)
+        quarantine_doc = outcome.quarantine_doc()
+    else:
+        results = run_matrix(tasks, jobs=args.jobs)
+        pairs = list(zip(tasks, results))
+
+    live_tasks = [task for task, _ in pairs]
+    live_results = [stats for _, stats in pairs]
+    merged = merge_matrix(live_tasks, live_results)
+
+    if args.quarantine_out:
+        doc = quarantine_doc or {
+            "schema": "repro/quarantine/v1",
+            "total_tasks": len(tasks),
+            "completed": len(pairs),
+            "quarantined": [],
+            "counters": {},
+        }
+        with open(args.quarantine_out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print(f"wrote quarantine report to {args.quarantine_out}")
     if args.metrics_out:
         _write_matrix_metrics(Path(args.metrics_out), merged)
         if not args.json:
             print(f"wrote merged metrics snapshot to {args.metrics_out}")
     if args.report_out:
-        write_report(Path(args.report_out), matrix_report(tasks, results))
+        write_report(Path(args.report_out), matrix_report(live_tasks, live_results))
         if not args.json:
             print(f"wrote merged race report to {args.report_out}")
     if args.trace_out:
         write_chrome_trace(
-            Path(args.trace_out), matrix_trace_events(zip(tasks, results))
+            Path(args.trace_out), matrix_trace_events(pairs)
         )
         if not args.json:
             print(
@@ -495,8 +600,10 @@ def cmd_matrix(args) -> int:
             {
                 "command": "matrix",
                 "trials": len(tasks),
+                "completed": len(pairs),
                 "jobs": args.jobs,
                 "cells": cells,
+                "quarantine": quarantine_doc,
             }
         )
         return 0
@@ -525,6 +632,9 @@ def cmd_matrix(args) -> int:
         f"{len(tasks)} trials over {args.jobs} job(s); "
         f"per-trial results are independent of --jobs"
     )
+    if quarantine_doc and quarantine_doc["quarantined"]:
+        for line in _quarantine_summary(quarantine_doc):
+            print(line)
     return 0
 
 
@@ -702,6 +812,57 @@ def cmd_convert(args) -> int:
     return 0
 
 
+def cmd_verify_trace(args) -> int:
+    """Integrity-check a trace file without analyzing it.
+
+    Binary traces get the full structural walk plus the v2 CRC32
+    trailer check; text traces are parsed line by line.  ``--validate``
+    additionally checks trace feasibility (fork-before-run etc.).
+    Exit 0 on a sound file, 1 on any integrity failure.
+    """
+    path = Path(args.trace)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        print(f"FAIL {path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if data[:4] == MAGIC:
+            info = describe_binary(data, validate=args.validate)
+        else:
+            trace = load_trace(path)
+            if args.validate:
+                trace.validate()
+            info = {
+                "format": "text",
+                "version": None,
+                "events": len(trace),
+                "bytes": len(data),
+                "crc32": None,
+                "checksummed": False,
+            }
+    except (TraceFormatError, TraceError) as exc:
+        if args.json:
+            _print_json({"command": "verify-trace", "trace": str(path),
+                         "ok": False, "error": str(exc)})
+        else:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+        return 1
+    info["validated"] = bool(args.validate)
+    if args.json:
+        _print_json({"command": "verify-trace", "trace": str(path),
+                     "ok": True, **info})
+    else:
+        version = "text" if info["version"] is None else f"v{info['version']}"
+        crc = f", crc32 {info['crc32']} OK" if info["checksummed"] else ""
+        feasible = ", feasible" if args.validate else ""
+        print(
+            f"OK {path}: {info['events']} events, {version}, "
+            f"{info['bytes']} bytes{crc}{feasible}"
+        )
+    return 0
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -874,8 +1035,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-out", default=None, metavar="PATH",
         help="write the merged, jobs-independent race report as JSON",
     )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal every completed trial to PATH (append-only JSONL "
+        "with per-record CRCs, written via atomic rename)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay the --checkpoint journal and run only the remaining "
+        "trials; rejects a journal written for a different matrix",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-trial wall-clock budget under supervision; a trial past "
+        "it is killed and retried (default 300; 0 disables)",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=3, metavar="K",
+        help="tries per trial before quarantine (default 3)",
+    )
+    p.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="deterministic fault-injection plan for chaos testing "
+        f"(grammar in docs/ROBUSTNESS.md; default: ${FAULT_PLAN_ENV})",
+    )
+    p.add_argument(
+        "--quarantine-out", default=None, metavar="PATH",
+        help="write the structured quarantine report "
+        "(repro/quarantine/v1 JSON; empty when nothing failed)",
+    )
+    p.add_argument(
+        "--no-quarantine", action="store_true",
+        help="strict mode: abort (naming the dropped trials) instead of "
+        "quarantining tasks that exhaust their retries",
+    )
     _add_backend_argument(p)
     p.set_defaults(func=cmd_matrix)
+
+    p = sub.add_parser(
+        "verify-trace",
+        help="integrity-check a trace file (structure + CRC32 trailer)",
+    )
+    p.add_argument("trace")
+    p.add_argument(
+        "--validate", action="store_true",
+        help="also check trace feasibility, not just encoding integrity",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable verification verdict",
+    )
+    p.set_defaults(func=cmd_verify_trace)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

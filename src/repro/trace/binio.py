@@ -3,32 +3,54 @@
 Paper-scale traces run to 10⁹ events; the text format
 (:mod:`repro.trace.textio`) is convenient but ~20 bytes/event.  This
 format packs each event into a varint-coded record (~3-6 bytes typical),
-with a small header for integrity:
+with a small header and — since version 2 — an integrity trailer:
 
     magic  b"PACR"    4 bytes
     version           1 byte
     event count       varint
     events            kind-id varint, tid+1 varint, target varint, site varint
+    crc32 trailer     4 bytes little-endian (version >= 2 only)
+
+The trailer is CRC32 over every preceding byte, so a flipped bit or a
+silently shortened file is caught even when the damage still parses as
+well-formed varints.  Version 1 files (no trailer) remain readable;
+writers emit version 2 by default.
 
 Kind ids are the canonical numbering in
 :data:`repro.trace.events.KIND_TO_ID`.  ``sbegin``/``send`` encode only
 their kind id.  The format round-trips exactly; truncated or corrupt
-input raises :class:`~repro.trace.trace.TraceFormatError` (with the byte
-offset of the problem) rather than yielding garbage events.
+input raises :class:`~repro.trace.trace.TraceFormatError` with a message
+naming the precise failure (bad magic, unsupported version, truncated
+varint at a byte offset, trailing bytes, or a CRC32 mismatch) rather
+than yielding garbage events.  ``repro verify-trace`` exposes the same
+checks as a CLI command via :func:`describe_binary`.
 """
 
 from __future__ import annotations
 
+import zlib
 from pathlib import Path
-from typing import Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .events import Event, ID_TO_KIND, KIND_TO_ID, SBEGIN, SEND
 from .trace import Trace, TraceFormatError
 
-__all__ = ["dump_trace_binary", "load_trace_binary", "dumps_binary", "loads_binary"]
+__all__ = [
+    "dump_trace_binary",
+    "load_trace_binary",
+    "dumps_binary",
+    "loads_binary",
+    "describe_binary",
+]
 
 MAGIC = b"PACR"
-VERSION = 1
+#: newest format version, what ``dumps_binary`` emits by default
+VERSION = 2
+#: the legacy checksum-free format; still readable, never written unless asked
+VERSION_1 = 1
+SUPPORTED_VERSIONS = (VERSION_1, VERSION)
+
+_CRC_BYTES = 4
 
 _N_KINDS = len(ID_TO_KIND)
 _SBEGIN_ID = KIND_TO_ID[SBEGIN]
@@ -52,11 +74,11 @@ def _write_varint(out: bytearray, value: int) -> None:
             return
 
 
-def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+def _read_varint(data: bytes, pos: int, end: int) -> Tuple[int, int]:
     result = 0
     shift = 0
     while True:
-        if pos >= len(data):
+        if pos >= end:
             raise TraceFormatError(f"truncated varint at byte {pos}")
         byte = data[pos]
         pos += 1
@@ -68,12 +90,18 @@ def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
             raise TraceFormatError(f"varint longer than 64 bits at byte {pos}")
 
 
-def dumps_binary(events: Iterable[Event]) -> bytes:
-    """Serialize events to the binary format."""
+def dumps_binary(events: Iterable[Event], version: int = VERSION) -> bytes:
+    """Serialize events to the binary format (version 2 by default).
+
+    ``version=1`` writes the legacy trailer-free layout — kept for
+    compatibility tests and for producing fixtures older readers accept.
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(f"cannot write version {version} (supported: {SUPPORTED_VERSIONS})")
     events = list(events)
     out = bytearray()
     out += MAGIC
-    out.append(VERSION)
+    out.append(version)
     _write_varint(out, len(events))
     for e in events:
         kind_id = KIND_TO_ID.get(e.kind)
@@ -91,7 +119,45 @@ def dumps_binary(events: Iterable[Event]) -> bytes:
         _write_varint(out, e.tid + 1)
         _write_varint(out, e.target)
         _write_varint(out, (e.site << 1) ^ (e.site >> 63))  # zig-zag
+    if version >= 2:
+        out += zlib.crc32(bytes(out)).to_bytes(_CRC_BYTES, "little")
     return bytes(out)
+
+
+def _parse_header(data: bytes) -> Tuple[int, int, int]:
+    """Validate magic/version/trailer bounds; return (version, pos, end).
+
+    ``pos`` is the offset of the event-count varint, ``end`` the offset
+    one past the last event byte (the CRC trailer, if any, lies beyond).
+    """
+    if data[:4] != MAGIC:
+        raise TraceFormatError("not a PACR binary trace (bad magic)")
+    if len(data) < 5:
+        raise TraceFormatError("truncated header")
+    version = data[4]
+    if version not in SUPPORTED_VERSIONS:
+        raise TraceFormatError(f"unsupported version {version}")
+    end = len(data)
+    if version >= 2:
+        if len(data) < 5 + 1 + _CRC_BYTES:
+            raise TraceFormatError(
+                f"truncated trailer: v{version} trace needs a {_CRC_BYTES}-byte "
+                f"CRC32 after the events, got {len(data)} bytes total"
+            )
+        end -= _CRC_BYTES
+    return version, 5, end
+
+
+def _check_crc(data: bytes) -> int:
+    """Verify a v2+ trailer; return the stored CRC32."""
+    stored = int.from_bytes(data[-_CRC_BYTES:], "little")
+    computed = zlib.crc32(data[:-_CRC_BYTES])
+    if stored != computed:
+        raise TraceFormatError(
+            f"CRC32 mismatch: stored 0x{stored:08x}, computed 0x{computed:08x} "
+            f"(trace is corrupt or truncated)"
+        )
+    return stored
 
 
 def loads_binary(data: bytes, validate: bool = True) -> Trace:
@@ -101,43 +167,68 @@ def loads_binary(data: bytes, validate: bool = True) -> Trace:
     ``validate`` is on) :class:`~repro.trace.trace.TraceError` if the
     decoded events are not a feasible trace.
     """
-    if data[:4] != MAGIC:
-        raise TraceFormatError("not a PACR binary trace (bad magic)")
-    if len(data) < 5:
-        raise TraceFormatError("truncated header")
-    if data[4] != VERSION:
-        raise TraceFormatError(f"unsupported version {data[4]}")
-    count, pos = _read_varint(data, 5)
-    if count > len(data) - pos:
+    version, pos, end = _parse_header(data)
+    try:
+        count, pos = _read_varint(data, pos, end)
+    except TraceFormatError as exc:
+        raise TraceFormatError(f"bad event count: {exc}") from None
+    if count > end - pos:
         # every event record is at least one byte, so a count beyond the
         # remaining payload is corrupt — reject before looping over it
         raise TraceFormatError(
-            f"event count {count} exceeds remaining payload ({len(data) - pos} bytes)"
+            f"event count {count} exceeds remaining payload ({end - pos} bytes)"
         )
     events: List[Event] = []
     for _ in range(count):
-        kind_id, pos = _read_varint(data, pos)
+        kind_id, pos = _read_varint(data, pos, end)
         if kind_id >= _N_KINDS:
             raise TraceFormatError(f"unknown kind id {kind_id} at byte {pos}")
         if kind_id == _SBEGIN_ID or kind_id == _SEND_ID:
             events.append(Event(ID_TO_KIND[kind_id], -1, 0, 0))
             continue
-        tid_plus, pos = _read_varint(data, pos)
-        target, pos = _read_varint(data, pos)
-        zigzag, pos = _read_varint(data, pos)
+        tid_plus, pos = _read_varint(data, pos, end)
+        target, pos = _read_varint(data, pos, end)
+        zigzag, pos = _read_varint(data, pos, end)
         site = (zigzag >> 1) ^ -(zigzag & 1)
         events.append(Event(ID_TO_KIND[kind_id], tid_plus - 1, target, site))
-    if pos != len(data):
-        raise TraceFormatError(f"{len(data) - pos} trailing bytes after events")
+    if pos != end:
+        raise TraceFormatError(f"{end - pos} trailing bytes after events")
+    if version >= 2:
+        _check_crc(data)
     trace = Trace(events)
     if validate:
         trace.validate()
     return trace
 
 
-def dump_trace_binary(events: Iterable[Event], path: Union[str, Path]) -> None:
+def describe_binary(data: bytes, validate: bool = False) -> Dict[str, object]:
+    """Fully check a binary trace and report what was found.
+
+    Runs every structural check :func:`loads_binary` runs (plus trace
+    feasibility when ``validate`` is set) and returns a summary dict —
+    the engine behind ``repro verify-trace``.  Raises
+    :class:`TraceFormatError` on the first integrity problem.
+    """
+    version, _, _ = _parse_header(data)
+    trace = loads_binary(data, validate=validate)
+    crc: Optional[str] = None
+    if version >= 2:
+        crc = f"0x{int.from_bytes(data[-_CRC_BYTES:], 'little'):08x}"
+    return {
+        "format": "binary",
+        "version": version,
+        "events": len(trace),
+        "bytes": len(data),
+        "crc32": crc,
+        "checksummed": version >= 2,
+    }
+
+
+def dump_trace_binary(
+    events: Iterable[Event], path: Union[str, Path], version: int = VERSION
+) -> None:
     """Write events to ``path`` in the binary format."""
-    Path(path).write_bytes(dumps_binary(events))
+    Path(path).write_bytes(dumps_binary(events, version=version))
 
 
 def load_trace_binary(path: Union[str, Path], validate: bool = True) -> Trace:

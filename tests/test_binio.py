@@ -101,3 +101,95 @@ class TestPropertyRoundTrip:
             assert loads_binary(dumps_binary(events), validate=False).events == events
 
         round_trips()
+
+
+class TestV2Checksum:
+    """The v2 trailer: CRC32 catches silent corruption, and every
+    failure mode names itself distinctly."""
+
+    def test_v2_is_the_default_and_carries_a_trailer(self):
+        from repro.trace.binio import VERSION
+
+        data = dumps_binary([wr(0, 5, 9)])
+        assert data[4] == VERSION
+        # the trailer is exactly the CRC32 of everything before it
+        import zlib
+
+        stored = int.from_bytes(data[-4:], "little")
+        assert stored == zlib.crc32(data[:-4])
+
+    def test_zero_event_v2_round_trip(self):
+        data = dumps_binary([])
+        assert len(data) == 10  # magic + version + count + crc32
+        assert loads_binary(data, validate=False).events == []
+
+    def test_v1_files_still_load(self):
+        from repro.trace.binio import VERSION_1
+
+        events = [wr(0, 5, 9), sbegin(), rd(1, 5), send()]
+        data = dumps_binary(events, version=VERSION_1)
+        assert data[4] == VERSION_1
+        assert loads_binary(data, validate=False).events == events
+
+    def test_bit_flip_anywhere_in_body_is_caught(self):
+        """Any single-bit flip is rejected — either the structural
+        parser trips on it, or the CRC32 check does."""
+        from repro.trace.trace import TraceFormatError
+        from repro.util.faults import flip_byte
+
+        data = dumps_binary(random_trace(seed=9, length=120).events)
+        for offset in (5, 7, len(data) // 2, len(data) - 5):
+            with pytest.raises(TraceFormatError):
+                loads_binary(flip_byte(data, offset, mask=0x01))
+
+    def test_flipped_trailer_is_caught(self):
+        from repro.util.faults import flip_byte
+
+        data = dumps_binary([wr(0, 5, 9)])
+        with pytest.raises(ValueError, match="CRC32 mismatch"):
+            loads_binary(flip_byte(data, -1))
+
+    def test_mid_varint_truncation_names_the_byte(self):
+        from repro.util.faults import truncate_bytes
+
+        data = dumps_binary([wr(0, 5, 9), rd(1, 5, 3)], version=1)
+        with pytest.raises(ValueError, match="truncated varint at byte"):
+            loads_binary(truncate_bytes(data, 1))
+
+    def test_failure_modes_are_distinct(self):
+        """Operators must be able to tell *what* broke from the message."""
+        data = dumps_binary([wr(0, 5, 9)])
+        with pytest.raises(ValueError, match="bad magic"):
+            loads_binary(b"XXXX" + data[4:])
+        with pytest.raises(ValueError, match="unsupported .*version 99"):
+            loads_binary(data[:4] + b"\x63" + data[5:])
+        with pytest.raises(ValueError, match="truncated trailer"):
+            loads_binary(data[:8])
+
+    def test_crc_error_reports_both_values(self):
+        # structurally valid bytes, wrong trailer: only the CRC can object
+        good = dumps_binary([wr(0, 5, 9)])
+        bad = good[:-4] + bytes(b ^ 0xFF for b in good[-4:])
+        with pytest.raises(ValueError, match="stored 0x[0-9a-f]{8}, computed 0x[0-9a-f]{8}"):
+            loads_binary(bad)
+
+    def test_describe_binary(self):
+        from repro.trace.binio import VERSION, describe_binary
+
+        events = random_trace(seed=3, length=80).events
+        data = dumps_binary(events)
+        info = describe_binary(data)
+        assert info["format"] == "binary"
+        assert info["version"] == VERSION
+        assert info["events"] == len(events)
+        assert info["bytes"] == len(data)
+        assert info["checksummed"] is True
+        assert isinstance(info["crc32"], str)
+
+    def test_describe_binary_v1_has_no_crc(self):
+        from repro.trace.binio import describe_binary
+
+        data = dumps_binary([wr(0, 5, 9)], version=1)
+        info = describe_binary(data)
+        assert info["checksummed"] is False
+        assert info["crc32"] is None

@@ -88,3 +88,111 @@ class TestConvert:
         back = tmp_path / "back.txt"
         assert main(["convert", str(binary), str(back), "--format", "text"]) == 0
         assert load_trace(back).events == load_trace(text).events
+
+
+class TestVerifyTrace:
+    def _record_binary(self, tmp_path, capsys):
+        path = tmp_path / "t.pacr"
+        assert main(["record", "micro", str(path), "--seed", "1",
+                     "--scale", "0.4", "--format", "binary"]) == 0
+        capsys.readouterr()  # drop record's own chatter
+        return path
+
+    def test_ok_binary(self, tmp_path, capsys):
+        path = self._record_binary(tmp_path, capsys)
+        assert main(["verify-trace", str(path), "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"OK {path}:")
+        assert "v2" in out and "crc32" in out and "feasible" in out
+
+    def test_ok_text(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        dump_trace([fork(0, 1), wr(1, 5, 9)], path)
+        assert main(["verify-trace", str(path)]) == 0
+        assert "2 events, text" in capsys.readouterr().out
+
+    def test_corrupt_binary_fails(self, tmp_path, capsys):
+        path = self._record_binary(tmp_path, capsys)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert main(["verify-trace", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"FAIL {path}:")
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = self._record_binary(tmp_path, capsys)
+        assert main(["verify-trace", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["version"] == 2
+        assert doc["checksummed"] is True
+        assert doc["events"] > 0
+
+    def test_json_failure(self, tmp_path, capsys):
+        import json
+
+        path = self._record_binary(tmp_path, capsys)
+        path.write_bytes(path.read_bytes()[:-2])
+        assert main(["verify-trace", str(path), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is False and "error" in doc
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["verify-trace", str(tmp_path / "nope.pacr")]) == 1
+        assert capsys.readouterr().err.startswith("FAIL ")
+
+
+class TestMatrixRobustness:
+    MATRIX = ["matrix", "--workloads", "micro", "--detectors", "fasttrack",
+              "--seeds", "2", "--scale", "0.4"]
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(self.MATRIX + ["--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_bad_fault_plan_rejected(self, capsys):
+        assert main(self.MATRIX + ["--fault-plan", "zap@3"]) == 2
+        assert "bad fault plan" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_is_byte_identical(self, tmp_path, capsys):
+        ck = tmp_path / "ck.jsonl"
+        m1, m2 = tmp_path / "m1.json", tmp_path / "m2.json"
+        assert main(self.MATRIX + ["--checkpoint", str(ck),
+                                   "--metrics-out", str(m1)]) == 0
+        assert ck.exists()
+        # resume of a finished journal reruns nothing, re-merges the same
+        assert main(self.MATRIX + ["--checkpoint", str(ck), "--resume",
+                                   "--metrics-out", str(m2)]) == 0
+        assert "2 of 2 trial(s) already journaled" in capsys.readouterr().out
+        assert m1.read_bytes() == m2.read_bytes()
+
+    def test_resume_rejects_different_matrix(self, tmp_path, capsys):
+        ck = tmp_path / "ck.jsonl"
+        assert main(self.MATRIX + ["--checkpoint", str(ck)]) == 0
+        other = list(self.MATRIX)
+        other[other.index("2")] = "3"  # --seeds 3: a different campaign
+        assert main(other + ["--checkpoint", str(ck), "--resume"]) == 2
+        assert "different task matrix" in capsys.readouterr().err
+
+    def test_poison_task_quarantined_not_fatal(self, tmp_path, capsys):
+        import json
+
+        qpath = tmp_path / "q.json"
+        assert main(self.MATRIX + ["--fault-plan", "raise@0*inf",
+                                   "--quarantine-out", str(qpath)]) == 0
+        doc = json.loads(qpath.read_text())
+        (entry,) = doc["quarantined"]
+        assert entry["workload"] == "micro"
+        assert entry["seed"] == 0
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+
+    def test_no_quarantine_makes_poison_fatal(self, capsys):
+        assert main(self.MATRIX + ["--fault-plan", "raise@0*inf",
+                                   "--no-quarantine"]) == 1
+        err = capsys.readouterr().err
+        assert "dropped 1 task(s)" in err
+        assert "detector='fasttrack'" in err

@@ -1,0 +1,123 @@
+"""The deterministic fault-injection plan and corruption helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.faults import (
+    FAULT_PLAN_ENV,
+    FaultInjected,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    INFINITE,
+    execute_fault,
+    flip_byte,
+    truncate_bytes,
+)
+
+
+class TestGrammar:
+    def test_index_selector(self):
+        plan = FaultPlan.parse("crash@3")
+        assert plan.rules == (FaultRule("crash", index=3),)
+
+    def test_times_suffix(self):
+        plan = FaultPlan.parse("hang@5*2")
+        assert plan.rules[0].times == 2
+
+    def test_inf_times_is_poison(self):
+        rule = FaultPlan.parse("raise@7*inf").rules[0]
+        assert rule.times == INFINITE
+        assert rule.matches(7, 0, attempt=10**6)
+
+    def test_seed_mod_selector(self):
+        rule = FaultPlan.parse("corrupt@seed%13=4").rules[0]
+        assert rule.mod == (13, 4)
+        assert rule.matches(999, 13 * 5 + 4, attempt=1)
+        assert not rule.matches(999, 13 * 5 + 3, attempt=1)
+
+    def test_multiple_rules_first_match_wins(self):
+        plan = FaultPlan.parse("crash@1; raise@1*inf")
+        assert plan.match(1, 0, 1).kind == "crash"
+        # after crash's single allowed attempt, the raise rule takes over
+        assert plan.match(1, 0, 2).kind == "raise"
+
+    def test_spec_round_trips(self):
+        text = "crash@3;hang@5*2;raise@7*inf;corrupt@seed%13=4"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.spec()) == plan
+        assert plan.spec() == text
+
+    def test_no_match_returns_none(self):
+        assert FaultPlan.parse("crash@3").match(4, 0, 1) is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "zap@3",            # unknown kind
+            "crash",            # no selector
+            "crash@",           # empty selector
+            "crash@x",          # non-integer selector
+            "crash@-1",         # negative index
+            "crash@3*0",        # times < 1
+            "crash@3*soon",     # non-integer times
+            "crash@seed%0=1",   # zero modulus
+            "crash@seed%13",    # missing remainder
+            "",                 # no rules at all
+            " ; ; ",
+        ],
+    )
+    def test_bad_plans_rejected(self, bad):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(bad)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv(FAULT_PLAN_ENV, "crash@2")
+        assert FaultPlan.from_env().rules[0].index == 2
+        monkeypatch.setenv(FAULT_PLAN_ENV, "   ")
+        assert FaultPlan.from_env() is None
+
+    def test_plan_is_deterministic(self):
+        """Matching is a pure function of (index, seed, attempt)."""
+        plan = FaultPlan.parse("crash@1;corrupt@seed%7=3;raise@9*2")
+        table = [
+            (plan.match(i, s, a) or FaultRule("none", index=-1)).kind
+            for i in range(12) for s in range(20) for a in (1, 2, 3)
+        ]
+        assert table == [
+            (plan.match(i, s, a) or FaultRule("none", index=-1)).kind
+            for i in range(12) for s in range(20) for a in (1, 2, 3)
+        ]
+
+
+class TestExecution:
+    def test_raise_fault_raises(self):
+        with pytest.raises(FaultInjected, match="raise@0"):
+            execute_fault(FaultRule("raise", index=0))
+
+    def test_corrupt_is_callers_job(self):
+        # corrupt must be a no-op at the actuator: the caller owns the result
+        execute_fault(FaultRule("corrupt", index=0))
+
+    # crash (os._exit) and hang (an hour's sleep) are exercised for real
+    # through worker processes in tests/test_supervisor.py
+
+
+class TestCorruptionHelpers:
+    def test_flip_byte(self):
+        assert flip_byte(b"\x00\xff", 0) == b"\xff\xff"
+        assert flip_byte(b"\x00\xff", -1, mask=0x01) == b"\x00\xfe"
+        assert flip_byte(flip_byte(b"abc", 1), 1) == b"abc"
+
+    def test_flip_zero_mask_rejected(self):
+        with pytest.raises(ValueError):
+            flip_byte(b"abc", 0, mask=0)
+
+    def test_truncate(self):
+        assert truncate_bytes(b"abcdef", 2) == b"abcd"
+        assert truncate_bytes(b"ab", 5) == b""
+        with pytest.raises(ValueError):
+            truncate_bytes(b"ab", 0)

@@ -17,6 +17,7 @@ import pytest
 
 from repro.analysis.parallel import (
     TrialTask,
+    default_jobs,
     expand_matrix,
     merge_matrix,
     run_matrix,
@@ -120,3 +121,27 @@ def test_merge_matrix_folds_seeds():
 def test_rate_rejected_for_non_pacer():
     with pytest.raises(ValueError):
         run_trial_task(TrialTask("xalan", "fasttrack", 0.5, 0, SCALE))
+
+
+class TestDefaultJobs:
+    def test_env_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+
+    def test_unset_means_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+    def test_nonpositive_clamped_silently(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        assert default_jobs() == 1
+        assert capsys.readouterr().err == ""
+
+    def test_unparsable_value_warns_on_stderr(self, monkeypatch, capsys):
+        """A typo'd REPRO_JOBS=8x must not silently serialise a campaign."""
+        monkeypatch.setenv("REPRO_JOBS", "8x")
+        assert default_jobs() == 1
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err
+        assert "'8x'" in err
+        assert "1 job" in err

@@ -1,0 +1,240 @@
+"""Crash-isolated supervisor: chaos runs must not change results.
+
+The acceptance bar from the robustness issue: under an injected fault
+plan with at least one crash, one hang, and one poison task, a
+supervised matrix run completes, quarantines *only* the poison task,
+and every surviving ``CoreStats`` is identical to the failure-free
+run's.  These tests drive exactly that, entirely through the public
+fault-injection plan — no monkeypatching of worker internals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.parallel import (
+    expand_matrix,
+    require_complete,
+    run_matrix,
+    run_trial_task,
+)
+from repro.analysis.supervisor import (
+    MatrixIncompleteError,
+    QUARANTINE_SCHEMA,
+    SupervisorConfig,
+    backoff_delay,
+    run_supervised,
+)
+from repro.util.faults import FaultPlan
+
+SCALE = 0.25
+
+TASKS = expand_matrix(
+    workloads=["micro"],
+    detectors=["fasttrack", "pacer"],
+    rates=[0.05],
+    seeds=range(3),
+    scale=SCALE,
+)  # 6 trials: fasttrack seeds 0-2 at indices 0-2, pacer at 3-5
+
+
+def _config(**overrides) -> SupervisorConfig:
+    base = dict(
+        jobs=4,
+        task_timeout=5.0,
+        max_attempts=3,
+        backoff_base=0.0,  # retries are immediate in tests
+    )
+    base.update(overrides)
+    return SupervisorConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def clean_results():
+    return [run_trial_task(task) for task in TASKS]
+
+
+class TestFaultFree:
+    def test_matches_sequential_run(self, clean_results):
+        outcome = run_supervised(TASKS, _config())
+        assert outcome.results == clean_results
+        assert outcome.quarantine == []
+        counters = outcome.registry.snapshot()["counters"]
+        assert counters["supervisor_tasks_completed_total"] == len(TASKS)
+        assert "supervisor_retries_total" not in counters
+
+    def test_empty_matrix(self):
+        outcome = run_supervised([], _config())
+        assert outcome.results == []
+        assert outcome.quarantine == []
+
+
+class TestChaos:
+    def test_crash_hang_poison_chaos_run(self, clean_results):
+        """>=1 crash, >=1 hang, >=1 poison: the acceptance scenario."""
+        plan = FaultPlan.parse("crash@1;hang@2;raise@4*inf")
+        outcome = run_supervised(
+            TASKS, _config(task_timeout=3.0, fault_plan=plan)
+        )
+        # only the poison task is quarantined...
+        assert [q.index for q in outcome.quarantine] == [4]
+        assert outcome.results[4] is None
+        # ...and every surviving result is identical to the clean run's
+        for index, (clean, survived) in enumerate(zip(clean_results, outcome.results)):
+            if index == 4:
+                continue
+            assert survived == clean, f"task {index} diverged after retries"
+            assert survived.race_sigs == clean.race_sigs
+            assert survived.counters == clean.counters
+            assert survived.metrics == clean.metrics
+        counters = outcome.registry.snapshot()["counters"]
+        assert counters["supervisor_failures_total{kind=crash}"] == 1
+        assert counters["supervisor_failures_total{kind=timeout}"] == 1
+        assert counters["supervisor_failures_total{kind=raise}"] == 3
+        assert counters["supervisor_timeouts_total"] == 1
+        assert counters["supervisor_quarantined_total"] == 1
+
+    def test_corrupt_result_detected_and_retried(self, clean_results):
+        """A corrupted result must be rejected by the identity check and
+        recomputed — never merged."""
+        plan = FaultPlan.parse("corrupt@0;corrupt@3")
+        outcome = run_supervised(TASKS, _config(fault_plan=plan))
+        assert outcome.quarantine == []
+        assert outcome.results == clean_results
+        counters = outcome.registry.snapshot()["counters"]
+        assert counters["supervisor_failures_total{kind=corrupt-result}"] == 2
+        assert counters["supervisor_retries_total"] == 2
+
+    def test_transient_faults_leave_no_gaps(self, clean_results):
+        """Crashes below the retry budget are invisible in the output."""
+        plan = FaultPlan.parse("crash@0*2;raise@5*2")
+        outcome = run_supervised(TASKS, _config(fault_plan=plan))
+        assert outcome.quarantine == []
+        assert outcome.results == clean_results
+
+    def test_seed_mod_selector_reaches_workers(self, clean_results):
+        """The position-independent selector fires in worker processes."""
+        from repro.analysis.parallel import task_seed
+
+        seed = task_seed(TASKS[2])
+        plan = FaultPlan.parse(f"raise@seed%{10**9}={seed % 10**9}*inf")
+        outcome = run_supervised(TASKS, _config(fault_plan=plan))
+        assert [q.index for q in outcome.quarantine] == [2]
+
+    def test_quarantine_doc_schema(self):
+        plan = FaultPlan.parse("raise@1*inf")
+        outcome = run_supervised(TASKS, _config(fault_plan=plan))
+        doc = outcome.quarantine_doc()
+        assert doc["schema"] == QUARANTINE_SCHEMA
+        assert doc["total_tasks"] == len(TASKS)
+        assert doc["completed"] == len(TASKS) - 1
+        (entry,) = doc["quarantined"]
+        task = TASKS[1]
+        assert (entry["workload"], entry["detector"], entry["rate"], entry["seed"]) \
+            == (task.workload, task.detector, task.rate, task.seed)
+        assert entry["attempts"] == 3
+        assert [f["kind"] for f in entry["failures"]] == ["raise"] * 3
+        assert all(f["attempt"] == i + 1 for i, f in enumerate(entry["failures"]))
+
+    def test_crash_failure_records_exit_code(self):
+        from repro.util.faults import CRASH_EXIT_CODE
+
+        plan = FaultPlan.parse("crash@0*inf")
+        outcome = run_supervised(TASKS[:1], _config(jobs=1, fault_plan=plan))
+        (record,) = outcome.quarantine
+        assert {f.exitcode for f in record.failures} == {CRASH_EXIT_CODE}
+        assert all(f.kind == "crash" for f in record.failures)
+
+
+class TestStrictMode:
+    def test_dropped_tasks_named_not_just_indexed(self):
+        """The old guard said "indices [4]"; the new one must name the
+        trial so a 3-hour campaign failure is actionable."""
+        plan = FaultPlan.parse("raise@4*inf")
+        with pytest.raises(MatrixIncompleteError) as err:
+            run_supervised(
+                TASKS, _config(fault_plan=plan, quarantine=False)
+            )
+        message = str(err.value)
+        task = TASKS[4]
+        assert task.workload in message
+        assert task.detector in message
+        assert f"seed={task.seed}" in message
+        assert err.value.records[0].index == 4
+
+    def test_run_matrix_routes_through_strict_supervision(self):
+        plan = FaultPlan.parse("crash@2*inf")
+        import repro.analysis.supervisor as supervisor_mod
+
+        # run_matrix builds its own config; drive the fault through a
+        # wrapped run_supervised so the public entry point is what fails
+        original = supervisor_mod.run_supervised
+
+        def with_faults(tasks, config, **kwargs):
+            return original(
+                tasks,
+                SupervisorConfig(
+                    jobs=config.jobs,
+                    task_timeout=config.task_timeout,
+                    max_attempts=2,
+                    backoff_base=0.0,
+                    quarantine=config.quarantine,
+                    fault_plan=plan,
+                ),
+                **kwargs,
+            )
+
+        supervisor_mod.run_supervised = with_faults
+        try:
+            with pytest.raises(MatrixIncompleteError, match="detector="):
+                run_matrix(TASKS, jobs=2)
+        finally:
+            supervisor_mod.run_supervised = original
+
+    def test_require_complete_names_tasks(self):
+        results = [run_trial_task(TASKS[0]), None, None]
+        with pytest.raises(RuntimeError) as err:
+            require_complete(TASKS[:3], results)
+        message = str(err.value)
+        assert "2 task(s)" in message
+        assert f"seed={TASKS[1].seed}" in message
+        assert TASKS[2].detector in message
+        # quarantined indices are allowed to be missing
+        require_complete(TASKS[:3], results, allowed_missing={1, 2})
+
+
+class TestBackoff:
+    def test_schedule_is_deterministic_and_bounded(self):
+        delays = [backoff_delay(a, base=0.05, cap=2.0) for a in range(1, 10)]
+        assert delays == [backoff_delay(a, 0.05, 2.0) for a in range(1, 10)]
+        assert delays[0] == 0.05
+        assert delays[1] == 0.10
+        assert all(d <= 2.0 for d in delays)
+        assert delays == sorted(delays)
+
+    def test_zero_base_disables_backoff(self):
+        assert backoff_delay(5, base=0.0, cap=2.0) == 0.0
+
+
+class TestResumeHook:
+    def test_completed_tasks_are_never_rescheduled(self, clean_results):
+        """Pre-filled results (the checkpoint path) skip execution: a
+        poison plan on a completed index can never fire."""
+        plan = FaultPlan.parse("raise@0*inf")
+        seen = []
+        outcome = run_supervised(
+            TASKS,
+            _config(fault_plan=plan),
+            completed={0: clean_results[0]},
+            on_result=lambda index, stats: seen.append(index),
+        )
+        assert outcome.quarantine == []
+        assert outcome.results == clean_results
+        # on_result fires only for newly computed trials
+        assert sorted(seen) == [1, 2, 3, 4, 5]
+
+    def test_completed_index_out_of_range_rejected(self, clean_results):
+        with pytest.raises(ValueError, match="outside matrix"):
+            run_supervised(
+                TASKS, _config(), completed={99: clean_results[0]}
+            )

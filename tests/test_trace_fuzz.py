@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.trace.binio import MAGIC, VERSION, dumps_binary, loads_binary
+from repro.trace.binio import MAGIC, VERSION, VERSION_1, dumps_binary, loads_binary
 from repro.trace.events import (
     ACQUIRE,
     ALLOC,
@@ -186,7 +186,9 @@ def test_trailing_bytes_rejected():
 
 
 def test_unterminated_varint_rejected():
-    payload = MAGIC + bytes([VERSION]) + b"\x81"  # count varint never ends
+    # v1 layout: no trailer, so the lone continuation byte is read as the
+    # (never-ending) count varint itself
+    payload = MAGIC + bytes([VERSION_1]) + b"\x81"
     with pytest.raises(TraceFormatError, match="varint"):
         loads_binary(payload)
 
