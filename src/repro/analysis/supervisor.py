@@ -57,6 +57,7 @@ __all__ = [
     "QUARANTINE_SCHEMA",
     "FailureRecord",
     "MatrixIncompleteError",
+    "PipeWorker",
     "QuarantineRecord",
     "SupervisorConfig",
     "SupervisorOutcome",
@@ -251,25 +252,28 @@ def _worker_main(conn, plan: Optional[FaultPlan]) -> None:
 # -- parent side ---------------------------------------------------------------
 
 
-class _Worker:
-    """One supervised worker process plus its duplex pipe."""
+class PipeWorker:
+    """One long-lived worker process driven over a duplex pipe.
 
-    def __init__(self, ctx, plan: Optional[FaultPlan]) -> None:
+    The crash-isolation primitive shared by the supervisor and the
+    telemetry shard tier (:mod:`repro.net.shard`): a daemon process
+    running ``main(conn, *args)``, where ``main`` loops on ``conn.recv()``
+    until it receives ``("stop",)``.  The parent talks over ``conn`` and
+    owns the lifecycle — :meth:`stop` for a graceful shutdown,
+    :meth:`kill` when the worker is wedged or mid-task, :meth:`exitcode`
+    to learn how a dead worker died.
+    """
+
+    def __init__(self, ctx, main: Callable, args: Tuple = ()) -> None:
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
-            target=_worker_main, args=(child_conn, plan), daemon=True
+            target=main, args=(child_conn,) + tuple(args), daemon=True
         )
         self.process.start()
         child_conn.close()
-        #: (index, attempt, deadline) while a trial is in flight
-        self.busy: Optional[Tuple[int, int, float]] = None
 
-    def dispatch(
-        self, index: int, attempt: int, task: TrialTask, timeout: Optional[float]
-    ) -> None:
-        deadline = float("inf") if not timeout else time.monotonic() + timeout
-        self.conn.send(("run", index, attempt, task))
-        self.busy = (index, attempt, deadline)
+    def alive(self) -> bool:
+        return self.process.is_alive()
 
     def exitcode(self) -> Optional[int]:
         self.process.join(timeout=5.0)
@@ -292,6 +296,22 @@ class _Worker:
             self.process.kill()
             self.process.join(timeout=5.0)
         self.conn.close()
+
+
+class _Worker(PipeWorker):
+    """A :class:`PipeWorker` running trials, plus in-flight bookkeeping."""
+
+    def __init__(self, ctx, plan: Optional[FaultPlan]) -> None:
+        super().__init__(ctx, _worker_main, (plan,))
+        #: (index, attempt, deadline) while a trial is in flight
+        self.busy: Optional[Tuple[int, int, float]] = None
+
+    def dispatch(
+        self, index: int, attempt: int, task: TrialTask, timeout: Optional[float]
+    ) -> None:
+        deadline = float("inf") if not timeout else time.monotonic() + timeout
+        self.conn.send(("run", index, attempt, task))
+        self.busy = (index, attempt, deadline)
 
 
 def _identity_ok(task: TrialTask, stats: CoreStats) -> bool:

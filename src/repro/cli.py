@@ -28,6 +28,14 @@ Commands:
 * ``verify-trace`` — integrity-check a trace file: structure plus the
   binary format's CRC32 trailer, ``--validate`` for feasibility.
 * ``convert``   — convert traces between the text and binary formats.
+* ``serve``     — run the race-telemetry server: accepts streamed
+  event sessions over TCP/Unix sockets, shards them onto detector
+  worker processes, and serves the continuously merged race report
+  (see docs/TELEMETRY.md).
+* ``stream``    — stream a trace file to a running server as one
+  session and print the server's summary.
+* ``report``    — query a running server's live merged report
+  (``--follow`` to poll).
 
 ``analyze`` and ``matrix`` accept ``--json`` for machine-readable output
 (races + counters + metrics), and ``analyze``/``detect``/``matrix`` all
@@ -863,6 +871,117 @@ def cmd_verify_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the race-telemetry server until ^C (or ``--duration``)."""
+    import time
+
+    from .net import ServerConfig, TelemetryServer
+
+    config = ServerConfig(
+        address=args.address,
+        n_shards=args.shards,
+        shard_mode=args.shard_mode,
+        credits=args.credits,
+        max_sessions=args.max_sessions,
+        spool_dir=args.spool_dir,
+        log_path=args.log_out,
+    )
+    server = TelemetryServer(config)
+    server.start()
+    # the bound address (port 0 resolves on bind) for scripted clients
+    if args.address_file:
+        Path(args.address_file).write_text(server.address + "\n", encoding="utf-8")
+    print(f"serving {server.address} "
+          f"({args.shards} {args.shard_mode} shard(s), "
+          f"{args.credits}-chunk credit window)")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        doc = server.query_doc()
+        if args.status_out:
+            with open(args.status_out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True, indent=2)
+                fh.write("\n")
+        server.stop()
+    report = doc["report"]
+    print(
+        f"served {len(doc['sessions'])} session(s): {report['events']} events, "
+        f"{report['dynamic_races']} race(s), {report['distinct_races']} distinct"
+    )
+    return 0
+
+
+def cmd_stream(args) -> int:
+    """Stream a trace file to a telemetry server as one session."""
+    from .net import TelemetryClient
+
+    trace = _load(Path(args.trace), args.format)
+    client = TelemetryClient(
+        args.address,
+        args.session,
+        detector=args.detector,
+        backend=args.state_backend,
+        chunk_size=args.chunk_size,
+    )
+    client.connect()
+    client.send_events(list(trace.events))
+    summary = client.close()
+    if args.json:
+        _print_json(
+            {
+                "command": "stream",
+                "trace": args.trace,
+                "address": args.address,
+                "credit_waits": client.credit_waits,
+                **summary,
+            }
+        )
+    else:
+        print(
+            f"streamed {summary['events']} events in {summary['chunks']} "
+            f"chunk(s) as session {summary['session']!r}: "
+            f"{summary['races']} race(s), "
+            f"{summary['distinct_races']} distinct"
+        )
+    return 1 if summary["races"] and args.fail_on_race else 0
+
+
+def cmd_net_report(args) -> int:
+    """Query a telemetry server's live merged report (optionally follow)."""
+    import time
+
+    from .net import query_server
+
+    while True:
+        doc = query_server(args.address)
+        if args.report_out:
+            write_report(Path(args.report_out), doc["report"])
+        if args.json:
+            _print_json(doc)
+        else:
+            report = doc["report"]
+            print(
+                f"{args.address}: {len(doc['sessions'])} session(s), "
+                f"{report['events']} events, {report['dynamic_races']} "
+                f"race(s), {report['distinct_races']} distinct"
+            )
+            for sess in doc["sessions"]:
+                print(
+                    f"  {sess['session']:<24} {sess['state']:<9} "
+                    f"shard {sess['shard']}  seq {sess['applied_seq']:<6} "
+                    f"{sess['events']:>8} events  {sess['races']:>4} race(s)"
+                )
+        if not args.follow:
+            return 0
+        time.sleep(args.interval)
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -1086,6 +1205,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable verification verdict",
     )
     p.set_defaults(func=cmd_verify_trace)
+
+    p = sub.add_parser("serve", help="run the race-telemetry server")
+    p.add_argument(
+        "--address", default="tcp://127.0.0.1:0",
+        help="tcp://host:port or unix:///path (port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--address-file",
+        help="write the bound address here (for scripted clients)",
+    )
+    p.add_argument("--shards", type=int, default=2, help="detector workers")
+    p.add_argument(
+        "--shard-mode", choices=["process", "inline"], default="process",
+        help="worker processes, or in-process shards (tests/debugging)",
+    )
+    p.add_argument(
+        "--credits", type=int, default=8,
+        help="per-session credit window (chunks in flight)",
+    )
+    p.add_argument("--max-sessions", type=int, default=64)
+    p.add_argument(
+        "--spool-dir",
+        help="session spool directory (default: private tempdir)",
+    )
+    p.add_argument("--log-out", help="append server log lines to this file")
+    p.add_argument(
+        "--status-out",
+        help="write the final status document (JSON) on shutdown",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for N seconds then exit (default: until ^C)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("stream", help="stream a trace file to a server")
+    p.add_argument("trace")
+    p.add_argument("--address", required=True, help="server address")
+    p.add_argument("--session", required=True, help="session name")
+    p.add_argument("--detector", choices=sorted(DETECTORS), default="fasttrack")
+    p.add_argument("--format", choices=["auto", "text", "binary"], default="auto")
+    p.add_argument(
+        "--chunk-size", type=int, default=512, help="events per frame"
+    )
+    p.add_argument(
+        "--fail-on-race", action="store_true", help="exit 1 if races are found"
+    )
+    p.add_argument("--json", action="store_true")
+    _add_backend_argument(p)
+    p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser("report", help="query a server's live merged report")
+    p.add_argument("--address", required=True, help="server address")
+    p.add_argument(
+        "--follow", action="store_true",
+        help="keep polling every --interval seconds",
+    )
+    p.add_argument("--interval", type=float, default=2.0)
+    p.add_argument("--json", action="store_true")
+    p.add_argument(
+        "--report-out",
+        help="write the merged repro/race-report/v1 document here",
+    )
+    p.set_defaults(func=cmd_net_report)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

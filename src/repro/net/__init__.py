@@ -1,0 +1,59 @@
+"""``repro.net`` — the race-telemetry service (``repro/telemetry/v1``).
+
+PACER's pitch is *always-on* detection in production, which means the
+analysis cannot live inside every monitored process.  This package moves
+it behind a wire: clients stream length-prefixed binio-v2 event frames
+over TCP or Unix sockets to a long-running detection server, which
+shards sessions onto long-lived detector worker processes and folds
+their ``repro/race-report/v1`` reports and metrics continuously.
+
+Layers (see ``docs/TELEMETRY.md`` for the wire format and lifecycle):
+
+* :mod:`repro.net.protocol` — the sans-IO frame codec and message
+  schema: versioned handshake, credit-based backpressure, sequence
+  numbers for reconnect-with-resume, and a *named* error for every way a
+  byte stream can be malformed (the fuzz suite pins that no input
+  produces an unnamed exception or a hang);
+* :mod:`repro.net.shard` — detector worker processes (the supervisor's
+  pipe-connected worker pattern) hosting one detector per session, with
+  exact streaming witness indexes for offline-parity reports;
+* :mod:`repro.net.server` — the front tier: accepts connections,
+  spools each session's frames for crash replay, routes chunks to
+  shards, grants credits, and merges finalized session reports;
+* :mod:`repro.net.client` — :class:`TelemetryClient` (stream any event
+  sequence) and :class:`TelemetryMonitor` (a
+  :class:`~repro.live.RaceMonitor`-backed shim that forwards a real
+  threaded program's events to a server instead of analyzing locally).
+"""
+
+from .client import TelemetryClient, TelemetryMonitor, parse_address, query_server
+from .protocol import (
+    PROTOCOL_SCHEMA,
+    FrameCorrupt,
+    FrameDecoder,
+    FrameTooLarge,
+    FrameTruncated,
+    PayloadError,
+    ProtocolError,
+    SessionStateError,
+    UnknownFrameType,
+)
+from .server import ServerConfig, TelemetryServer
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "FrameCorrupt",
+    "FrameDecoder",
+    "FrameTooLarge",
+    "FrameTruncated",
+    "PayloadError",
+    "ProtocolError",
+    "ServerConfig",
+    "SessionStateError",
+    "TelemetryClient",
+    "TelemetryMonitor",
+    "TelemetryServer",
+    "UnknownFrameType",
+    "parse_address",
+    "query_server",
+]

@@ -1,0 +1,484 @@
+"""Telemetry clients: stream traces or live programs to a server.
+
+Two layers:
+
+* :class:`TelemetryClient` — the wire client.  Single-threaded and
+  synchronous by design (deterministic, lock-free): it sends EVENTS
+  frames while it holds credits, and when the window is exhausted it
+  *blocks* reading frames until the server returns a CREDIT — that stall
+  is the backpressure mechanism, counted in :attr:`credit_waits` so the
+  soak suite can prove the window actually closed.  Every sent chunk
+  stays in the unacked buffer until its CREDIT ``ack`` arrives, which is
+  what makes :meth:`reconnect` (HELLO with ``resume``) lossless: the
+  server names its last durably applied sequence number and the client
+  retransmits everything newer.
+
+* :class:`TelemetryMonitor` — the :class:`~repro.live.RaceMonitor`-backed
+  shim.  A real threaded program uses the same ``shared``/``lock``/
+  ``volatile``/``thread`` API as local monitoring, but the detector slot
+  holds a :class:`ForwardingDetector` that buffers events instead of
+  analyzing them, interning the monitor's ``file:line`` site strings to
+  integers (the binary wire format carries varint sites); the name table
+  ships in SITES frames so server-side race reports still point at real
+  source lines.  Analysis happens wherever the server's shard workers
+  live — the monitored process pays only for buffering and framing.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..trace.events import SBEGIN, SEND, Event
+from .protocol import (
+    DEFAULT_MAX_FRAME,
+    Close,
+    CloseAck,
+    Credit,
+    ErrorMessage,
+    EventsChunk,
+    FrameDecoder,
+    FrameTruncated,
+    Heartbeat,
+    Hello,
+    HelloAck,
+    ProtocolError,
+    Query,
+    Report,
+    Sites,
+    chunk_events,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "ForwardingDetector",
+    "TelemetryClient",
+    "TelemetryMonitor",
+    "parse_address",
+    "query_server",
+]
+
+DEFAULT_CHUNK_SIZE = 512
+
+
+def parse_address(address: str) -> Tuple[str, object]:
+    """Parse ``tcp://host:port`` or ``unix:///path`` into (kind, target)."""
+    if address.startswith("tcp://"):
+        rest = address[len("tcp://"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"tcp address needs host:port, got {address!r}")
+        try:
+            return ("tcp", (host, int(port)))
+        except ValueError:
+            raise ValueError(f"bad port in address {address!r}") from None
+    if address.startswith("unix://"):
+        path = address[len("unix://"):]
+        if not path:
+            raise ValueError(f"unix address needs a path, got {address!r}")
+        return ("unix", path)
+    raise ValueError(
+        f"address must start with tcp:// or unix://, got {address!r}"
+    )
+
+
+class TelemetryClient:
+    """One session's connection to a telemetry server."""
+
+    def __init__(
+        self,
+        address: str,
+        session: str,
+        detector: str = "fasttrack",
+        backend: Optional[str] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        timeout: float = 30.0,
+    ) -> None:
+        self.address = address
+        self.session = session
+        self.detector = detector
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.max_frame = max_frame
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder(max_frame)
+        self._inbox: List = []
+        self.credits = 0
+        #: next EVENTS sequence number to assign
+        self.next_seq = 1
+        #: chunks sent but not yet CREDIT-acknowledged, oldest first
+        self.unacked: List[EventsChunk] = []
+        #: times send_events blocked on an exhausted credit window
+        self.credit_waits = 0
+        self.events_sent = 0
+        self.last_summary: Optional[Dict] = None
+
+    # -- connection ----------------------------------------------------------
+
+    def _open(self) -> None:
+        """Open the transport without speaking (used by query-only peers)."""
+        kind, target = parse_address(self.address)
+        if kind == "tcp":
+            sock = socket.create_connection(target, timeout=self.timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(target)
+        self._sock = sock
+        self._decoder = FrameDecoder(self.max_frame)
+        self._inbox = []
+
+    def connect(self, resume: bool = False) -> HelloAck:
+        """Open the socket and perform the versioned handshake.
+
+        With ``resume=True`` the server replies with its last durably
+        applied sequence number; chunks at or below it are dropped from
+        the unacked buffer (they survived server-side) and newer ones
+        are retransmitted in order.
+        """
+        self._open()
+        self._send(
+            Hello(
+                session=self.session,
+                detector=self.detector,
+                backend=self.backend,
+                resume=resume,
+            )
+        )
+        ack = self._wait_for(HelloAck)
+        self.credits = ack.credits
+        if resume:
+            self.unacked = [c for c in self.unacked if c.seq > ack.resume_seq]
+            for chunk in self.unacked:
+                self._send(chunk)
+                self.credits -= 1
+                while self.credits <= 0:
+                    self.credit_waits += 1
+                    self._pump()
+        return ack
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def abort(self) -> None:
+        """Drop the connection without CLOSE (a dying client)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        self.credits = 0
+
+    def reconnect(self) -> HelloAck:
+        """Resume this session on a fresh connection."""
+        self.abort()
+        return self.connect(resume=True)
+
+    # -- wire plumbing -------------------------------------------------------
+
+    def _send(self, msg) -> None:
+        if self._sock is None:
+            raise ProtocolError("client is not connected")
+        self._sock.sendall(encode_message(msg, self.max_frame))
+
+    def _pump(self) -> None:
+        """Block until at least one frame arrives and absorb it.
+
+        CREDIT frames update the window and the unacked buffer in place;
+        anything else lands in the inbox for :meth:`_wait_for`.  Returns
+        after the first recv that completes a frame, so credit-only
+        traffic still makes progress visible to the caller's loop.
+        """
+        assert self._sock is not None
+        progressed = False
+        while not progressed:
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                raise ProtocolError(
+                    f"no frame from {self.address} within {self.timeout}s"
+                ) from None
+            if not data:
+                self._decoder.close()
+                raise FrameTruncated(
+                    "server closed the connection mid-conversation"
+                )
+            for frame in self._decoder.feed(data):
+                progressed = True
+                msg = decode_message(frame)
+                if isinstance(msg, Credit):
+                    self.credits += msg.credits
+                    self.unacked = [c for c in self.unacked if c.seq > msg.ack]
+                elif isinstance(msg, ErrorMessage):
+                    raise msg.to_exception()
+                else:
+                    self._inbox.append(msg)
+
+    def _wait_for(self, kind):
+        while True:
+            for i, msg in enumerate(self._inbox):
+                if isinstance(msg, kind):
+                    return self._inbox.pop(i)
+            self._pump()
+
+    # -- session operations --------------------------------------------------
+
+    def send_events(self, events: Sequence[Event]) -> None:
+        """Stream events as sequenced chunks, honoring the credit window."""
+        for chunk in chunk_events(list(events), self.chunk_size, self.next_seq):
+            while self.credits <= 0:
+                self.credit_waits += 1
+                self._pump()
+            self._send(chunk)
+            self.credits -= 1
+            self.unacked.append(chunk)
+            self.next_seq = chunk.seq + 1
+            self.events_sent += len(chunk.events)
+
+    def send_sites(self, sites: Dict[int, str]) -> None:
+        """Ship (part of) the site-id -> source-location name table."""
+        if sites:
+            self._send(Sites(sites=dict(sites)))
+
+    def heartbeat(self, nonce: int = 1) -> None:
+        """Liveness round-trip; raises if the echo doesn't match."""
+        self._send(Heartbeat(nonce=nonce))
+        echo = self._wait_for(Heartbeat)
+        if echo.nonce != nonce:
+            raise ProtocolError(
+                f"heartbeat echo mismatch: sent {nonce}, got {echo.nonce}"
+            )
+
+    def drain(self) -> None:
+        """Block until every sent chunk has been CREDIT-acknowledged."""
+        while self.unacked:
+            self._pump()
+
+    def query(self) -> Dict:
+        """The server's live status document (merged report + roster)."""
+        self._send(Query())
+        return self._wait_for(Report).doc
+
+    def close(self) -> Dict:
+        """Drain, send CLOSE, await the summary, drop the connection."""
+        self.drain()
+        self._send(Close(seq=self.next_seq - 1))
+        ack = self._wait_for(CloseAck)
+        self.last_summary = ack.summary
+        self.abort()
+        return ack.summary
+
+    def __enter__(self) -> "TelemetryClient":
+        if not self.connected:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.connected:
+            if exc[0] is None:
+                self.close()
+            else:
+                self.abort()
+
+
+def query_server(address: str, timeout: float = 10.0) -> Dict:
+    """One-shot sessionless status query: QUERY in, REPORT doc out.
+
+    The server answers QUERY before any HELLO, so dashboards and
+    ``repro report --follow`` can poll without owning a session.
+    """
+    client = TelemetryClient(address, session="-query-", timeout=timeout)
+    client._open()
+    try:
+        client._send(Query())
+        return client._wait_for(Report).doc
+    finally:
+        client.abort()
+
+
+# -- the RaceMonitor-backed shim ----------------------------------------------
+
+
+class ForwardingDetector:
+    """A detector-shaped event buffer for :class:`TelemetryMonitor`.
+
+    Implements exactly the surface :class:`~repro.live.RaceMonitor`
+    touches — the typed event methods, ``races``/``distinct_races``/
+    ``_events_seen``, ``begin_sampling``/``end_sampling`` — but performs
+    no analysis: every call appends an :class:`~repro.trace.events.Event`
+    to a buffer the shim flushes over the wire.  The monitor's string
+    sites (``file:line``) are interned to dense integers here;
+    :attr:`new_sites` collects not-yet-shipped name-table entries.
+    """
+
+    name = "forwarding"
+    backend_name = "remote"
+
+    def __init__(self, on_chunk: Optional[Callable[[], None]] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        self.buffer: List[Event] = []
+        self.races: List = []
+        self.distinct_races: set = set()
+        self._events_seen = 0
+        self.observer = None
+        self._site_ids: Dict[str, int] = {}
+        self.new_sites: Dict[int, str] = {}
+        self._on_chunk = on_chunk
+        self._chunk_size = chunk_size
+
+    def _site_id(self, site) -> int:
+        if isinstance(site, int):
+            return site
+        sid = self._site_ids.get(site)
+        if sid is None:
+            sid = self._site_ids[site] = len(self._site_ids) + 1
+            self.new_sites[sid] = site
+        return sid
+
+    def _emit(self, kind: str, tid: int, target: int, site=0) -> None:
+        self.buffer.append(Event(kind, tid, target, self._site_id(site)))
+        if (
+            self._on_chunk is not None
+            and len(self.buffer) >= self._chunk_size
+        ):
+            self._on_chunk()
+
+    # the typed surface RaceMonitor dispatches to
+    def read(self, tid, var, site=0):
+        self._emit("rd", tid, var, site)
+
+    def write(self, tid, var, site=0):
+        self._emit("wr", tid, var, site)
+
+    def acquire(self, tid, lock, site=0):
+        self._emit("acq", tid, lock, site)
+
+    def release(self, tid, lock, site=0):
+        self._emit("rel", tid, lock, site)
+
+    def fork(self, tid, child, site=0):
+        self._emit("fork", tid, child, site)
+
+    def join(self, tid, child, site=0):
+        self._emit("join", tid, child, site)
+
+    def vol_read(self, tid, vol, site=0):
+        self._emit("vol_rd", tid, vol, site)
+
+    def vol_write(self, tid, vol, site=0):
+        self._emit("vol_wr", tid, vol, site)
+
+    def begin_sampling(self):
+        self.buffer.append(Event(SBEGIN, -1, 0, 0))
+
+    def end_sampling(self):
+        self.buffer.append(Event(SEND, -1, 0, 0))
+
+    def take(self) -> List[Event]:
+        """Swap out and return the buffered events."""
+        out, self.buffer = self.buffer, []
+        return out
+
+    def take_sites(self) -> Dict[int, str]:
+        out, self.new_sites = self.new_sites, {}
+        return out
+
+
+class TelemetryMonitor:
+    """Monitor a real threaded program, analyze it on a remote server.
+
+    Drop-in for the local pattern::
+
+        tm = TelemetryMonitor("tcp://127.0.0.1:7777", session="checkout")
+        counter = tm.shared("counter", 0)
+        threads = [tm.thread(bump) for _ in range(4)]
+        ...
+        summary = tm.close()        # {"races": ..., "events": ...}
+
+    ``shared``/``lock``/``volatile``/``thread`` delegate to an inner
+    :class:`~repro.live.RaceMonitor` whose detector slot holds a
+    :class:`ForwardingDetector`; events auto-flush over the wire every
+    ``chunk_size`` events (under the monitor mutex, so ordering matches
+    the interleaving the monitor observed) and :meth:`close` flushes the
+    tail, closes the session, and returns the server's summary.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        session: str,
+        detector: str = "fasttrack",
+        backend: Optional[str] = None,
+        chunk_size: int = 256,
+        client: Optional[TelemetryClient] = None,
+    ) -> None:
+        # imported here: repro.live imports are heavier than this module
+        from ..live import RaceMonitor
+
+        self.client = client or TelemetryClient(
+            address, session, detector=detector, backend=backend,
+            chunk_size=chunk_size,
+        )
+        self._fwd = ForwardingDetector(
+            on_chunk=self._flush_buffered, chunk_size=chunk_size
+        )
+        self.monitor = RaceMonitor(detector=self._fwd)
+        self._closed = False
+        if not self.client.connected:
+            self.client.connect()
+
+    # -- delegated monitoring API -------------------------------------------
+
+    def shared(self, name: str, initial: Any = None):
+        return self.monitor.shared(name, initial)
+
+    def lock(self, name: str):
+        return self.monitor.lock(name)
+
+    def volatile(self, name: str, initial: Any = None):
+        return self.monitor.volatile(name, initial)
+
+    def thread(self, target: Callable[..., Any], *args: Any, **kwargs: Any):
+        return self.monitor.thread(target, *args, **kwargs)
+
+    # -- streaming -----------------------------------------------------------
+
+    def _flush_buffered(self) -> None:
+        """Ship buffered events (called with the monitor mutex held)."""
+        sites = self._fwd.take_sites()
+        if sites:
+            self.client.send_sites(sites)
+        events = self._fwd.take()
+        if events:
+            self.client.send_events(events)
+
+    def flush(self) -> None:
+        """Ship everything buffered so far."""
+        with self.monitor._mutex:
+            self._flush_buffered()
+
+    def query(self) -> Dict:
+        return self.client.query()
+
+    def close(self) -> Dict:
+        """Flush the tail, close the session, return the server summary."""
+        if self._closed:
+            return self.client.last_summary or {}
+        self.flush()
+        summary = self.client.close()
+        self._closed = True
+        return summary
+
+    def __enter__(self) -> "TelemetryMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if exc[0] is None:
+            self.close()
+        else:
+            self.client.abort()

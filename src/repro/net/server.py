@@ -1,0 +1,672 @@
+"""The race-telemetry front tier: sockets, sessions, spools, merging.
+
+One :class:`TelemetryServer` accepts ``repro/telemetry/v1`` connections
+on a TCP or Unix socket, one thread per connection.  Each connection
+drives a session through its lifecycle:
+
+* **hello/ack** — register (or resume) the session, assign it to a
+  shard (:func:`repro.net.shard.shard_of`), grant the initial credit
+  window;
+* **events** — verify the sequence number, ship the chunk to the
+  session's shard worker, append it to the session's disk spool, then
+  return the credit.  The order matters: a chunk is acknowledged
+  (CREDIT with ``ack=seq``) only once it is both *analyzed* and
+  *spooled*, so every acknowledged chunk survives a worker crash and
+  every unacknowledged chunk is still owned by the client — exactly-once
+  end to end;
+* **close / disconnect** — finalize the session on its shard (the
+  re-entrant finalize from :mod:`repro.obs.observer`, so a disconnect
+  followed by a resume followed by another finalize never
+  double-counts) and fold its report into the merge tier.
+
+**Crash recovery.**  A dead shard worker surfaces as
+:class:`~repro.net.shard.ShardCrashed`.  Recovery runs under the shard's
+pipe lock (no other request can interleave): respawn a clean worker —
+any injected crash plan applied to the first process only — re-open
+every session owned by that shard, replay their spools, then let the
+failed request retry its in-flight chunk.  Detector state is rebuilt
+deterministically from the spools, so the post-crash report is
+byte-identical to a crash-free run; the soak suite pins this.
+
+**Merge tier.**  :meth:`TelemetryServer.query_doc` re-finalizes every
+session (cheap, absolute-valued) and folds the per-session
+``repro/race-report/v1`` documents with
+:func:`repro.obs.reports.merge_reports` and the metrics snapshots with
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot` — the same
+deterministic folds the experiment matrix uses.  ``repro report
+--follow`` and the QUERY frame serve this document live.
+
+Memory is bounded by construction: frames are size-capped, the
+per-connection receive buffer holds at most one partial frame (its
+high-water mark is exported as a gauge), chunks go to a worker and a
+spool file instead of accumulating, and detector metadata growth is the
+same as offline analysis of the same trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..analysis.parallel import DETECTOR_FACTORIES
+from ..obs.metrics import MetricsRegistry
+from ..obs.reports import merge_reports
+from ..trace.binio import dumps_binary, loads_binary
+from .client import parse_address
+from .protocol import (
+    DEFAULT_CREDITS,
+    DEFAULT_MAX_FRAME,
+    Close,
+    CloseAck,
+    Credit,
+    ErrorMessage,
+    EventsChunk,
+    FrameDecoder,
+    HandshakeError,
+    Heartbeat,
+    Hello,
+    HelloAck,
+    ProtocolError,
+    Query,
+    Report,
+    SessionStateError,
+    Sites,
+    decode_message,
+    encode_message,
+)
+from .shard import ShardCrashed, ShardPool
+
+__all__ = ["ServerConfig", "TelemetryServer", "STATUS_SCHEMA"]
+
+#: schema of the live status document served on QUERY
+STATUS_SCHEMA = "repro/telemetry-status/v1"
+
+_RECV_CHUNK = 65536
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for one server; the defaults suit tests and local use."""
+
+    address: str = "tcp://127.0.0.1:0"
+    n_shards: int = 2
+    #: "process" = real PipeWorker processes; "inline" = in-process shards
+    shard_mode: str = "process"
+    #: initial credit window granted per session in HELLO_ACK
+    credits: int = DEFAULT_CREDITS
+    max_frame: int = DEFAULT_MAX_FRAME
+    max_sessions: int = 64
+    #: chunk spool directory for crash replay (default: a temp dir the
+    #: server creates and removes on stop)
+    spool_dir: Optional[str] = None
+    #: flight-recorder window per session (matches offline analyze)
+    window: Optional[int] = None
+    #: fault injection: shard -> crash before that worker's Nth chunk
+    crash_plan: Optional[Dict[int, int]] = None
+    #: slow-shard injection: seconds of delay per chunk (backpressure)
+    chunk_delay: float = 0.0
+    #: append human-readable server events to this file (CI artifacts)
+    log_path: Optional[str] = None
+
+
+class _Session:
+    """Registry entry for one telemetry session."""
+
+    __slots__ = (
+        "name", "detector", "backend", "shard", "applied_seq",
+        "spool_path", "attached", "closed", "site_names", "last_doc",
+        "chunks", "owner", "lock",
+    )
+
+    def __init__(
+        self, name: str, detector: str, backend: Optional[str],
+        shard: int, spool_path: Path,
+    ) -> None:
+        self.name = name
+        self.detector = detector
+        self.backend = backend
+        self.shard = shard
+        self.applied_seq = 0
+        self.spool_path = spool_path
+        self.attached = False
+        self.closed = False
+        self.site_names: Dict[int, str] = {}
+        self.last_doc: Optional[Dict] = None
+        self.chunks = 0
+        #: the socket currently attached to this session; a resume takes
+        #: over from a half-dead connection, and only the owner detaches
+        self.owner: Optional[object] = None
+        #: serializes the check-apply-spool-ack sequence so a takeover
+        #: can never interleave with the superseded connection's frames
+        self.lock = threading.Lock()
+
+
+def _read_spool(path: Path) -> List[List]:
+    """Every spooled chunk of a session, in append order."""
+    chunks: List[List] = []
+    if not path.exists():
+        return chunks
+    data = path.read_bytes()
+    pos = 0
+    while pos + 4 <= len(data):
+        size = int.from_bytes(data[pos : pos + 4], "little")
+        pos += 4
+        chunks.append(list(loads_binary(data[pos : pos + size], validate=False).events))
+        pos += size
+    return chunks
+
+
+class TelemetryServer:
+    """A streaming race-detection server (see the module docstring)."""
+
+    def __init__(self, config: ServerConfig = ServerConfig()) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self._pool: Optional[ShardPool] = None
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._conn_socks: List[socket.socket] = []
+        self._sessions: Dict[str, _Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._log_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._spool_dir: Optional[Path] = None
+        self._owns_spool = False
+        self._unix_path: Optional[str] = None
+        self.address = config.address
+        #: high-water mark of any connection's receive buffer, in bytes
+        self.rx_buffer_high = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        cfg = self.config
+        if cfg.spool_dir is not None:
+            self._spool_dir = Path(cfg.spool_dir)
+            self._spool_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            self._spool_dir = Path(tempfile.mkdtemp(prefix="repro-telemetry-"))
+            self._owns_spool = True
+        from ..obs.provenance import DEFAULT_WINDOW
+
+        self._pool = ShardPool(
+            n_shards=cfg.n_shards,
+            mode=cfg.shard_mode,
+            window=cfg.window if cfg.window is not None else DEFAULT_WINDOW,
+            chunk_delay=cfg.chunk_delay,
+            crash_plan=cfg.crash_plan,
+        )
+        kind, target = parse_address(cfg.address)
+        if kind == "tcp":
+            host, port = target
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            self.address = f"tcp://{host}:{sock.getsockname()[1]}"
+        else:
+            if os.path.exists(target):
+                os.unlink(target)
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(target)
+            self._unix_path = target
+            self.address = f"unix://{target}"
+        sock.listen(16)
+        sock.settimeout(0.2)
+        self._listener = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="telemetry-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._log(f"serving {self.address} with {cfg.n_shards} "
+                  f"{cfg.shard_mode} shard(s)")
+        return self
+
+    def stop(self) -> None:
+        """Clean shutdown: finalize every session, release everything."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for sock in list(self._conn_socks):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for thread in list(self._conn_threads):
+            thread.join(timeout=5.0)
+        # final fold so merged_report()/log reflect every session
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for sess in sessions:
+            try:
+                self._finalize_session(sess)
+            except (ShardCrashed, Exception):  # pragma: no cover - defensive
+                pass
+        if self.config.log_path:
+            self._log(
+                f"stopped: {len(sessions)} session(s), "
+                f"{self.metrics.counter('net_events_total').value} events, "
+                f"{self._pool.worker_restarts if self._pool else 0} "
+                f"worker restart(s)"
+            )
+        if self._pool is not None:
+            self._pool.stop()
+        if self._unix_path and os.path.exists(self._unix_path):
+            os.unlink(self._unix_path)
+        if self._owns_spool and self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accept / connection loops -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            self._conn_socks.append(sock)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(sock,), daemon=True
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+
+    def _send(self, sock: socket.socket, msg) -> None:
+        try:
+            sock.sendall(encode_message(msg, self.config.max_frame))
+        except OSError:  # pragma: no cover - peer vanished mid-send
+            pass
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        decoder = FrameDecoder(self.config.max_frame)
+        sess: Optional[_Session] = None
+        self.metrics.counter("net_connections_total").inc()
+        try:
+            sock.settimeout(0.5)
+            while not self._stopping.is_set():
+                try:
+                    data = sock.recv(_RECV_CHUNK)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    decoder.close()  # raises FrameTruncated on a partial frame
+                    break
+                for frame in decoder.feed(data):
+                    self.metrics.counter("net_frames_total").inc()
+                    msg = decode_message(frame)
+                    sess = self._handle(sock, sess, msg)
+                if decoder.buffer_high > self.rx_buffer_high:
+                    self.rx_buffer_high = decoder.buffer_high
+                    self.metrics.gauge("net_rx_buffer_high").set(decoder.buffer_high)
+        except ProtocolError as exc:
+            self.metrics.counter("net_protocol_errors", code=exc.code).inc()
+            self._log(
+                f"protocol error on {sess.name if sess else '<no session>'}: "
+                f"[{exc.code}] {exc}"
+            )
+            self._send(sock, ErrorMessage(error_code=exc.code, detail=str(exc)))
+        finally:
+            if sess is not None:
+                with sess.lock:
+                    detached = sess.attached and sess.owner is sock
+                    if detached:
+                        # disconnect without CLOSE: the session stays
+                        # resumable, but fold its progress so nothing is
+                        # lost from the merge (a resume that already took
+                        # over owns the session now — leave it alone)
+                        sess.attached = False
+                        sess.owner = None
+                        self.metrics.counter("net_disconnects_total").inc()
+                        self._log(
+                            f"session {sess.name} disconnected at seq "
+                            f"{sess.applied_seq}"
+                        )
+                        try:
+                            self._finalize_session(sess)
+                        except ShardCrashed as exc:  # pragma: no cover
+                            self._recover(exc.shard)
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- message handling ----------------------------------------------------
+
+    def _handle(self, sock, sess: Optional[_Session], msg) -> Optional[_Session]:
+        if isinstance(msg, Hello):
+            return self._handle_hello(sock, sess, msg)
+        if isinstance(msg, Heartbeat):
+            self._send(sock, Heartbeat(nonce=msg.nonce))
+            self.metrics.counter("net_heartbeats_total").inc()
+            return sess
+        if isinstance(msg, Query):
+            self._send(sock, Report(doc=self.query_doc()))
+            return sess
+        if isinstance(msg, (HelloAck, Credit, CloseAck, Report, ErrorMessage)):
+            raise SessionStateError(
+                f"client sent a server-only frame "
+                f"({type(msg).__name__.lower()})"
+            )
+        if sess is None:
+            raise SessionStateError(
+                f"{type(msg).__name__.lower()} before hello: open a session first"
+            )
+        if isinstance(msg, EventsChunk):
+            self._handle_events(sock, sess, msg)
+            return sess
+        if isinstance(msg, Sites):
+            sess.site_names.update(msg.sites)
+            self._shard_call(sess, lambda: self._pool.add_sites(sess.name, msg.sites))
+            return sess
+        if isinstance(msg, Close):
+            self._handle_close(sock, sess, msg)
+            return sess
+        raise SessionStateError(f"unhandled message {type(msg).__name__}")
+
+    def _handle_hello(self, sock, conn_sess, hello: Hello) -> _Session:
+        if conn_sess is not None:
+            raise SessionStateError(
+                f"second hello on one connection (session "
+                f"{conn_sess.name!r} already open)"
+            )
+        assert self._pool is not None and self._spool_dir is not None
+        if hello.detector not in DETECTOR_FACTORIES:
+            raise HandshakeError(
+                f"unknown detector {hello.detector!r} "
+                f"(choices: {', '.join(sorted(DETECTOR_FACTORIES))})"
+            )
+        if hello.backend not in (None, "object", "packed"):
+            raise HandshakeError(
+                f"unknown state backend {hello.backend!r} "
+                f"(choices: object, packed)"
+            )
+        with self._sessions_lock:
+            sess = self._sessions.get(hello.session)
+            if hello.resume:
+                if sess is None:
+                    raise HandshakeError(
+                        f"cannot resume unknown session {hello.session!r}"
+                    )
+                resumed = True
+            else:
+                if sess is not None:
+                    raise HandshakeError(
+                        f"session {hello.session!r} already exists "
+                        f"(reconnect with resume)"
+                    )
+                if len(self._sessions) >= self.config.max_sessions:
+                    raise HandshakeError(
+                        f"session limit reached "
+                        f"({self.config.max_sessions} sessions)"
+                    )
+                spool = self._spool_dir / f"{len(self._sessions):04d}.spool"
+                sess = _Session(
+                    hello.session, hello.detector, hello.backend,
+                    shard=self._pool.shard_of(hello.session), spool_path=spool,
+                )
+                sess.attached = True
+                sess.owner = sock
+                self._sessions[hello.session] = sess
+                resumed = False
+        # shard and session-lock work happens outside the registry lock
+        # (lock order is session lock -> shard lock -> registry lock:
+        # recovery holds the shard lock while briefly taking the registry)
+        if resumed:
+            with sess.lock:
+                if sess.attached:
+                    # the previous connection died without a clean CLOSE
+                    # and its EOF hasn't surfaced yet: the resume takes
+                    # over (the owner token fences the stale connection,
+                    # and holding the session lock means no frame of its
+                    # is mid-apply while we flip the owner)
+                    self.metrics.counter("net_session_takeovers").inc()
+                    self._log(f"session {sess.name} taken over by resume")
+                sess.attached = True
+                sess.owner = sock
+                sess.closed = False
+        if not resumed:
+            self._shard_call(
+                sess,
+                lambda: self._pool.open_session(
+                    sess.name, sess.detector, sess.backend
+                ),
+            )
+            self.metrics.counter("net_sessions_opened").inc()
+            self._log(
+                f"session {sess.name} opened (detector {sess.detector}, "
+                f"shard {sess.shard})"
+            )
+        else:
+            self.metrics.counter("net_sessions_resumed").inc()
+            self._log(f"session {sess.name} resumed at seq {sess.applied_seq}")
+        self._send(
+            sock,
+            HelloAck(
+                session=sess.name,
+                resume_seq=sess.applied_seq,
+                credits=self.config.credits,
+            ),
+        )
+        return sess
+
+    def _handle_events(self, sock, sess: _Session, chunk: EventsChunk) -> None:
+        with sess.lock:
+            if sess.owner is not sock:
+                # a resume took this session over while our frame was in
+                # flight; the new connection retransmits anything unacked
+                raise SessionStateError(
+                    f"connection superseded on session {sess.name!r}"
+                )
+            if sess.closed:
+                raise SessionStateError(
+                    f"events after close on session {sess.name!r}"
+                )
+            if chunk.seq <= sess.applied_seq:
+                # duplicate retransmit after a resume: already durably
+                # applied, so just re-acknowledge
+                self.metrics.counter("net_duplicate_chunks").inc()
+                self._send(sock, Credit(ack=sess.applied_seq, credits=1))
+                return
+            if chunk.seq != sess.applied_seq + 1:
+                raise SessionStateError(
+                    f"sequence gap on session {sess.name!r}: got chunk "
+                    f"{chunk.seq}, expected {sess.applied_seq + 1}"
+                )
+            events = list(chunk.events)
+            self._shard_call(sess, lambda: self._pool.apply(sess.name, events))
+            payload = dumps_binary(events)
+            with open(sess.spool_path, "ab") as fh:
+                fh.write(len(payload).to_bytes(4, "little"))
+                fh.write(payload)
+            sess.applied_seq = chunk.seq
+            sess.chunks += 1
+            self.metrics.counter("net_chunks_total").inc()
+            self.metrics.counter("net_events_total").inc(len(events))
+            self._send(sock, Credit(ack=chunk.seq, credits=1))
+
+    def _handle_close(self, sock, sess: _Session, close: Close) -> None:
+        with sess.lock:
+            if sess.owner is not sock:
+                raise SessionStateError(
+                    f"connection superseded on session {sess.name!r}"
+                )
+            if close.seq != sess.applied_seq:
+                raise SessionStateError(
+                    f"close at seq {close.seq} but only {sess.applied_seq} "
+                    f"chunk(s) were applied on session {sess.name!r}"
+                )
+            doc = self._finalize_session(sess)
+            sess.closed = True
+            sess.attached = False
+            sess.owner = None
+        self.metrics.counter("net_sessions_closed").inc()
+        self._log(
+            f"session {sess.name} closed: {doc['events']} events, "
+            f"{doc['races']} race report(s), {doc['distinct_races']} distinct"
+        )
+        self._send(
+            sock,
+            CloseAck(
+                summary={
+                    "session": sess.name,
+                    "events": doc["events"],
+                    "races": doc["races"],
+                    "distinct_races": doc["distinct_races"],
+                    "chunks": sess.chunks,
+                }
+            ),
+        )
+
+    # -- shard plumbing ------------------------------------------------------
+
+    def _shard_call(self, sess: _Session, call):
+        """Run one shard request, recovering (once) from a worker crash."""
+        try:
+            return call()
+        except ShardCrashed as exc:
+            self._recover(exc.shard)
+            return call()
+
+    def _recover(self, shard: int) -> None:
+        """Respawn a dead shard worker and replay its sessions' spools."""
+        assert self._pool is not None
+
+        def replay(call) -> None:
+            with self._sessions_lock:
+                owned = [
+                    s for s in self._sessions.values() if s.shard == shard
+                ]
+            for sess in sorted(owned, key=lambda s: s.name):
+                call(("open", sess.name, sess.detector, sess.backend))
+                if sess.site_names:
+                    call(("sites", sess.name, dict(sess.site_names)))
+                for events in _read_spool(sess.spool_path):
+                    call(("events", sess.name, events))
+                self._log(
+                    f"replayed session {sess.name}: {sess.applied_seq} "
+                    f"spooled chunk(s)"
+                )
+
+        self.metrics.counter("net_shard_crashes").inc()
+        self._log(f"shard {shard} crashed; respawning and replaying spools")
+        if self._pool.recover(shard, replay):
+            self.metrics.counter("net_worker_restarts").inc()
+
+    def _finalize_session(self, sess: _Session) -> Dict:
+        doc = self._shard_call(sess, lambda: self._pool.finalize(sess.name))
+        sess.last_doc = doc
+        return doc
+
+    # -- merge tier ----------------------------------------------------------
+
+    def query_doc(self, refresh: bool = True) -> Dict:
+        """The live status document: merged report, roster, metrics.
+
+        ``refresh=True`` re-finalizes every session on its shard first
+        (cheap — finalize is absolute-valued and re-entrant), so the
+        answer always reflects every durably applied chunk.
+        """
+        with self._sessions_lock:
+            sessions = sorted(self._sessions.values(), key=lambda s: s.name)
+        if refresh:
+            for sess in sessions:
+                try:
+                    self._finalize_session(sess)
+                except ShardCrashed as exc:
+                    self._recover(exc.shard)
+                    self._finalize_session(sess)
+        docs = [sess.last_doc for sess in sessions if sess.last_doc]
+        merged_metrics = MetricsRegistry()
+        merged_metrics.merge(self.metrics)
+        for doc in docs:
+            merged_metrics.merge_snapshot(doc["metrics"])
+        roster = [
+            {
+                "session": sess.name,
+                "state": (
+                    "closed" if sess.closed
+                    else "attached" if sess.attached
+                    else "detached"
+                ),
+                "shard": sess.shard,
+                "applied_seq": sess.applied_seq,
+                "events": (sess.last_doc or {}).get("events", 0),
+                "races": (sess.last_doc or {}).get("races", 0),
+                "distinct_races": (sess.last_doc or {}).get("distinct_races", 0),
+            }
+            for sess in sessions
+        ]
+        return {
+            "schema": STATUS_SCHEMA,
+            "address": self.address,
+            "sessions": roster,
+            "report": merge_reports(
+                [doc["report"] for doc in docs], source="telemetry"
+            ),
+            "metrics": merged_metrics.snapshot(),
+            "server": {
+                "worker_restarts": self._pool.worker_restarts if self._pool else 0,
+                "rx_buffer_high": self.rx_buffer_high,
+                "shards": self.config.n_shards,
+                "shard_mode": self.config.shard_mode,
+            },
+        }
+
+    def merged_report(self, refresh: bool = True) -> Dict:
+        """Just the merged ``repro/race-report/v1`` document."""
+        return self.query_doc(refresh=refresh)["report"]
+
+    def session_doc(self, name: str, refresh: bool = True) -> Dict:
+        """One session's full result document (report, counters, metrics)."""
+        with self._sessions_lock:
+            sess = self._sessions[name]
+        if refresh or sess.last_doc is None:
+            return self._finalize_session(sess)
+        return sess.last_doc
+
+    @property
+    def session_names(self) -> List[str]:
+        with self._sessions_lock:
+            return sorted(self._sessions)
+
+    @property
+    def worker_restarts(self) -> int:
+        return self._pool.worker_restarts if self._pool else 0
+
+    # -- logging -------------------------------------------------------------
+
+    def _log(self, line: str) -> None:
+        if not self.config.log_path:
+            return
+        with self._log_lock:
+            with open(self.config.log_path, "a", encoding="utf-8") as fh:
+                fh.write(f"[{time.strftime('%H:%M:%S')}] {line}\n")
+
+    def write_status(self, path) -> None:
+        """Write the query document as JSON (CI artifact helper)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.query_doc(), fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -1,0 +1,424 @@
+"""The detector worker tier: one detector per session, sharded by name.
+
+Sessions are *wholly owned* by one shard — the session name hashes
+(CRC32, like :func:`repro.analysis.parallel.task_seed`, because builtin
+string hashing is randomized per process) onto a worker, and every chunk
+of that session's events is analyzed by that worker's detector.
+Happens-before edges never cross session boundaries (each session is its
+own monitored program with its own thread/variable/lock namespaces), so
+ownership sharding loses nothing: the union of per-shard reports *is*
+the answer.
+
+Workers are the supervisor's long-lived pipe-connected processes
+(:class:`repro.analysis.supervisor.PipeWorker`) running
+:func:`_shard_main`: a request/response loop over ``open`` / ``events``
+/ ``sites`` / ``finalize`` / ``drop`` / ``ping`` / ``stop`` messages.
+Each session inside a worker is a :class:`SessionHost` — a detector with
+an attached :class:`~repro.obs.observer.RunObserver`, flight recorder,
+and an *exact* incremental
+:class:`~repro.obs.provenance.SyncIndexBuilder`, which is what makes a
+streamed session's ``repro/race-report/v1`` report byte-identical
+(modulo source/session metadata) to offline ``repro analyze`` over the
+concatenated trace.
+
+:class:`ShardPool` is the parent-side handle.  It is thread-safe (the
+server talks to it from one thread per connection; a per-shard lock
+serializes each pipe), runs either in ``process`` mode (real workers)
+or ``inline`` mode (same :class:`SessionHost` code in-process — for
+protocol tests and single-process serving), and turns a dead worker
+into a :class:`ShardCrashed` the server recovers from by respawning and
+replaying the session spools.  Fault injection for the chaos suite:
+``crash_plan`` makes a given shard's *first* worker process die
+(``os._exit``) before applying its Nth chunk — first spawn only, so the
+recovery replay cannot crash-loop — and ``chunk_delay`` slows a shard
+down to exercise credit-based backpressure end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zlib
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.parallel import DETECTOR_FACTORIES
+from ..analysis.supervisor import PipeWorker
+from ..obs.observer import RunObserver
+from ..obs.provenance import DEFAULT_WINDOW, FlightRecorder, SyncIndexBuilder
+from ..obs.reports import build_report
+from ..util.faults import CRASH_EXIT_CODE
+
+__all__ = [
+    "SessionHost",
+    "ShardCrashed",
+    "ShardError",
+    "ShardPool",
+    "shard_of",
+]
+
+
+def shard_of(session: str, n_shards: int) -> int:
+    """Deterministic session -> shard assignment (process-independent)."""
+    return zlib.crc32(session.encode("utf-8")) % n_shards
+
+
+class ShardError(RuntimeError):
+    """A worker rejected a request (bad session, detector error, ...)."""
+
+
+class ShardCrashed(RuntimeError):
+    """A worker process died; its sessions need respawn-and-replay."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        self.shard = shard
+        super().__init__(f"shard {shard} crashed: {detail}")
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+class SessionHost:
+    """One streaming session's full detector stack inside a worker.
+
+    Mirrors exactly what ``repro analyze --report-out`` builds for an
+    in-memory trace: the same detector factory, an observer with a
+    flight recorder (so the per-event *recorded* run loop is taken and
+    race contexts are captured at report time), and an exact sync index
+    — fed incrementally with global event indices before each chunk is
+    analyzed, precisely when the offline path would have recorded them.
+    """
+
+    def __init__(
+        self,
+        session: str,
+        detector_name: str = "fasttrack",
+        backend: Optional[str] = None,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        factory = DETECTOR_FACTORIES.get(detector_name)
+        if factory is None:
+            raise ShardError(
+                f"unknown detector {detector_name!r} "
+                f"(choices: {', '.join(sorted(DETECTOR_FACTORIES))})"
+            )
+        self.session = session
+        self.detector = factory(backend=backend)
+        self.recorder = FlightRecorder(window=window)
+        self.observer = RunObserver(recorder=self.recorder)
+        self.observer.attach(self.detector)
+        self.sync_builder = SyncIndexBuilder()
+        self.chunks_applied = 0
+        self.site_names: Dict[int, str] = {}
+
+    def apply(self, events: Sequence) -> int:
+        """Analyze one chunk; returns the session's total race count."""
+        start = self.detector._events_seen
+        self.sync_builder.add_chunk(start, events)
+        self.detector.run(events)
+        self.chunks_applied += 1
+        return len(self.detector.races)
+
+    def add_sites(self, sites: Dict[int, str]) -> None:
+        self.site_names.update(sites)
+
+    def finalize_doc(self) -> Dict:
+        """Finalize (re-entrantly) and snapshot the session's results.
+
+        Safe to call repeatedly — after a disconnect, again after a
+        resume brought more events, and on every live query: the
+        observer's finalize refreshes absolute totals, and the report is
+        rebuilt from scratch each time.
+        """
+        det = self.detector
+        self.observer.finalize(det)
+        site_name = None
+        if self.site_names:
+            names = self.site_names
+            site_name = lambda site: names.get(site)  # noqa: E731
+        report = build_report(
+            det.races,
+            source="telemetry",
+            detector=det.name,
+            backend=det.backend_name,
+            rate=None,
+            events=det.perf.events,
+            contexts=self.observer.race_contexts,
+            sync=self.sync_builder.build(),
+            site_name=site_name,
+        )
+        return {
+            "session": self.session,
+            "report": report,
+            "events": det.perf.events,
+            "races": len(det.races),
+            "distinct_races": len(det.distinct_races),
+            "counters": det.counters.snapshot(),
+            "metrics": self.observer.registry.snapshot(),
+            "footprint_words": det.obs_sample().get("footprint_words", 0),
+            "chunks": self.chunks_applied,
+        }
+
+
+class _HostTable:
+    """The op dispatch shared by worker processes and inline mode."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self.window = window
+        self.hosts: Dict[str, SessionHost] = {}
+
+    def open(self, session: str, detector: str, backend: Optional[str]) -> None:
+        # idempotent: replay after a crash re-opens existing sessions
+        if session not in self.hosts:
+            self.hosts[session] = SessionHost(
+                session, detector, backend=backend, window=self.window
+            )
+
+    def events(self, session: str, events: Sequence) -> int:
+        host = self.hosts.get(session)
+        if host is None:
+            raise ShardError(f"no open session {session!r} on this shard")
+        return host.apply(events)
+
+    def sites(self, session: str, sites: Dict[int, str]) -> None:
+        host = self.hosts.get(session)
+        if host is None:
+            raise ShardError(f"no open session {session!r} on this shard")
+        host.add_sites(sites)
+
+    def finalize(self, session: str) -> Dict:
+        host = self.hosts.get(session)
+        if host is None:
+            raise ShardError(f"no open session {session!r} on this shard")
+        return host.finalize_doc()
+
+    def drop(self, session: str) -> None:
+        self.hosts.pop(session, None)
+
+
+def _shard_main(
+    conn,
+    crash_after: Optional[int] = None,
+    chunk_delay: float = 0.0,
+    window: int = DEFAULT_WINDOW,
+) -> None:
+    """Worker loop: serve session ops off the pipe until told to stop.
+
+    ``crash_after=N`` kills the process (``CRASH_EXIT_CODE``) upon
+    receiving its Nth ``events`` message, *before* analyzing the chunk —
+    the parent sees EOF mid-request, exactly like a real worker death,
+    and the not-yet-applied chunk is the one the server must retry.
+    """
+    table = _HostTable(window=window)
+    events_messages = 0
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent vanished
+            return
+        op = msg[0]
+        if op == "stop":
+            return
+        try:
+            if op == "open":
+                table.open(msg[1], msg[2], msg[3])
+                conn.send(("ok", None))
+            elif op == "events":
+                if chunk_delay > 0.0:
+                    time.sleep(chunk_delay)
+                events_messages += 1
+                if crash_after is not None and events_messages >= crash_after:
+                    os._exit(CRASH_EXIT_CODE)
+                conn.send(("ok", table.events(msg[1], msg[2])))
+            elif op == "sites":
+                table.sites(msg[1], msg[2])
+                conn.send(("ok", None))
+            elif op == "finalize":
+                conn.send(("ok", table.finalize(msg[1])))
+            elif op == "drop":
+                table.drop(msg[1])
+                conn.send(("ok", None))
+            elif op == "ping":
+                conn.send(("ok", "pong"))
+            else:
+                conn.send(("fail", f"unknown shard op {op!r}"))
+        except Exception as exc:
+            conn.send(("fail", f"{type(exc).__name__}: {exc}"))
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class _InlineShard:
+    """Same dispatch as a worker process, executed in-process."""
+
+    def __init__(self, chunk_delay: float = 0.0, window: int = DEFAULT_WINDOW) -> None:
+        self.table = _HostTable(window=window)
+        self.chunk_delay = chunk_delay
+
+    def call(self, msg):
+        op = msg[0]
+        try:
+            if op == "open":
+                return self.table.open(msg[1], msg[2], msg[3])
+            if op == "events":
+                if self.chunk_delay > 0.0:
+                    time.sleep(self.chunk_delay)
+                return self.table.events(msg[1], msg[2])
+            if op == "sites":
+                return self.table.sites(msg[1], msg[2])
+            if op == "finalize":
+                return self.table.finalize(msg[1])
+            if op == "drop":
+                return self.table.drop(msg[1])
+            if op == "ping":
+                return "pong"
+        except ShardError:
+            raise
+        except Exception as exc:
+            raise ShardError(f"{type(exc).__name__}: {exc}") from exc
+        raise ShardError(f"unknown shard op {op!r}")
+
+    def stop(self) -> None:
+        self.table.hosts.clear()
+
+
+class ShardPool:
+    """Parent-side handle on the detector worker tier.
+
+    ``mode="process"`` spawns one :class:`PipeWorker` per shard;
+    ``mode="inline"`` runs the identical dispatch in-process (no
+    isolation, no crash recovery — but byte-identical analysis, which
+    the parity suite exploits to pin both paths).  All public methods
+    are thread-safe; a dead worker surfaces as :class:`ShardCrashed`
+    and :meth:`recover` brings up a *clean* replacement (any injected
+    crash plan applies to a shard's first process only) and replays the
+    caller's session state before any other request can interleave.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        mode: str = "process",
+        window: int = DEFAULT_WINDOW,
+        chunk_delay: float = 0.0,
+        crash_plan: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if mode not in ("process", "inline"):
+            raise ValueError(f"mode must be 'process' or 'inline', got {mode!r}")
+        self.n_shards = n_shards
+        self.mode = mode
+        self.window = window
+        self.chunk_delay = chunk_delay
+        self.worker_restarts = 0
+        self._locks = [threading.Lock() for _ in range(n_shards)]
+        self._stopped = False
+        if mode == "inline":
+            self._inline: List[_InlineShard] = [
+                _InlineShard(chunk_delay=chunk_delay, window=window)
+                for _ in range(n_shards)
+            ]
+            self._workers: List[Optional[PipeWorker]] = []
+        else:
+            self._ctx = get_context("spawn" if os.name == "nt" else "fork")
+            crash_plan = crash_plan or {}
+            self._workers = [
+                self._spawn(shard, crash_plan.get(shard))
+                for shard in range(n_shards)
+            ]
+
+    def _spawn(self, shard: int, crash_after: Optional[int]) -> PipeWorker:
+        return PipeWorker(
+            self._ctx,
+            _shard_main,
+            (crash_after, self.chunk_delay, self.window),
+        )
+
+    def shard_of(self, session: str) -> int:
+        return shard_of(session, self.n_shards)
+
+    # -- request/response ----------------------------------------------------
+
+    def _roundtrip(self, shard: int, msg):
+        """One request/response on the shard pipe (shard lock held)."""
+        worker = self._workers[shard]
+        try:
+            worker.conn.send(msg)
+            reply = worker.conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as exc:
+            exitcode = worker.exitcode()
+            raise ShardCrashed(
+                shard,
+                f"worker exited with code {exitcode} during "
+                f"{msg[0]!r} ({type(exc).__name__})",
+            ) from None
+        if reply[0] == "fail":
+            raise ShardError(reply[1])
+        return reply[1]
+
+    def _call(self, shard: int, msg):
+        with self._locks[shard]:
+            if self.mode == "inline":
+                return self._inline[shard].call(msg)
+            return self._roundtrip(shard, msg)
+
+    def recover(self, shard: int, replay) -> bool:
+        """Respawn a dead shard worker and rebuild its state atomically.
+
+        Holds the shard's pipe lock for the whole respawn + replay, so
+        no other request can reach the fresh worker before its sessions
+        are rebuilt.  ``replay(call)`` receives a function that issues
+        raw shard messages on the new worker.  Returns False when the
+        worker turned out to be alive — another thread already recovered
+        it — in which case the caller just retries its request.  The
+        replacement worker never carries an injected crash plan, so a
+        replay cannot crash-loop.
+        """
+        if self.mode == "inline":
+            return False
+        with self._locks[shard]:
+            worker = self._workers[shard]
+            if worker.alive():
+                return False
+            worker.kill()
+            self._workers[shard] = self._spawn(shard, None)
+            self.worker_restarts += 1
+            replay(lambda msg: self._roundtrip(shard, msg))
+            return True
+
+    # -- session ops ---------------------------------------------------------
+
+    def open_session(
+        self, session: str, detector: str = "fasttrack", backend: Optional[str] = None
+    ) -> None:
+        self._call(self.shard_of(session), ("open", session, detector, backend))
+
+    def apply(self, session: str, events: Sequence) -> int:
+        """Analyze one chunk; returns the session's race count so far."""
+        return self._call(self.shard_of(session), ("events", session, list(events)))
+
+    def add_sites(self, session: str, sites: Dict[int, str]) -> None:
+        self._call(self.shard_of(session), ("sites", session, dict(sites)))
+
+    def finalize(self, session: str) -> Dict:
+        return self._call(self.shard_of(session), ("finalize", session))
+
+    def drop(self, session: str) -> None:
+        self._call(self.shard_of(session), ("drop", session))
+
+    def ping(self, shard: int) -> bool:
+        return self._call(shard, ("ping",)) == "pong"
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if self.mode == "inline":
+            for shard in self._inline:
+                shard.stop()
+            return
+        for worker in self._workers:
+            worker.stop()

@@ -34,7 +34,7 @@ from .perfetto import (
     validate_chrome_trace,
     write_chrome_trace,
 )
-from .provenance import FlightRecorder, SyncIndex, extract_witness
+from .provenance import FlightRecorder, SyncIndex, SyncIndexBuilder, extract_witness
 from .reports import (
     REPORT_SCHEMA,
     build_report,
@@ -55,6 +55,7 @@ __all__ = [
     "REPORT_SCHEMA",
     "RunObserver",
     "SyncIndex",
+    "SyncIndexBuilder",
     "build_report",
     "chrome_trace",
     "extract_witness",

@@ -107,6 +107,9 @@ class RunObserver:
         self._next_probe = 0
         self._final_vt = 0
         self._finalized = False
+        #: (final vt, events seen, races) at the last finalize; a repeat
+        #: call with identical state is a no-op (no duplicate probe)
+        self._finalized_state: Optional[Tuple[int, int, int]] = None
 
     # -- attachment ---------------------------------------------------------
 
@@ -192,14 +195,21 @@ class RunObserver:
     def finalize(self, detector, vt: Optional[int] = None) -> None:
         """Close the run: final probe plus registry totals.
 
-        Idempotent — CLI paths that both probe and snapshot can call it
-        defensively.
+        Idempotent *and re-entrant*: every total is written as an
+        absolute value (not an increment), so calling finalize twice in
+        a row changes nothing, and calling it again after *more* events
+        arrived — the telemetry server finalizes at every disconnect,
+        then again after a session resumes — refreshes the totals
+        instead of double-counting them.  Only a finalize that observes
+        new detector state emits another timeline probe.
         """
-        if self._finalized:
+        final_vt = vt if vt is not None else max(self._final_vt, detector.perf.events)
+        state = (final_vt, detector._events_seen, len(detector.races))
+        if self._finalized and self._finalized_state == state:
             return
         self._finalized = True
+        self._finalized_state = state
         self.final_races = list(detector.races)
-        final_vt = vt if vt is not None else max(self._final_vt, detector.perf.events)
         self.probe(detector, final_vt)
         reg = self.registry
         reg.count_many("ops", detector.counters.snapshot(), "op")
@@ -209,13 +219,13 @@ class RunObserver:
             "detector_runs",
             detector=detector.name,
             backend=getattr(detector, "backend_name", "object"),
-        ).inc()
+        ).value = 1
         # live runs pump Detector.apply directly, leaving perf.events at
         # zero — virtual time is the event count there
-        reg.counter("events").inc(detector.perf.events or final_vt)
+        reg.counter("events").value = detector.perf.events or final_vt
         reg.counter("races").value = len(detector.races)
         reg.counter("distinct_races").value = len(detector.distinct_races)
-        reg.counter("batches").inc(detector.perf.batches)
+        reg.counter("batches").value = detector.perf.batches
 
     @property
     def final_vt(self) -> int:

@@ -56,6 +56,7 @@ __all__ = [
     "DEFAULT_WINDOW",
     "FlightRecorder",
     "SyncIndex",
+    "SyncIndexBuilder",
     "extract_witness",
 ]
 
@@ -203,17 +204,15 @@ class SyncIndex:
     @classmethod
     def from_trace(cls, events) -> "SyncIndex":
         """Exact index over a full event sequence."""
-        sync: Dict[int, List[Tuple[int, str, int]]] = {}
-        marks: List[Tuple[int, bool]] = []
+        builder = SyncIndexBuilder()
         for index, event in enumerate(events):
-            kind = event.kind
-            if kind == SBEGIN or kind == SEND:
-                entering = kind == SBEGIN
-                if not marks or marks[-1][1] != entering:
-                    marks.append((index, entering))
-            elif kind in SYNC_KINDS:
-                sync.setdefault(event.tid, []).append((index, kind, event.target))
-        return cls(sync, marks, source="trace", complete=True)
+            builder.add(index, event)
+        return builder.build()
+
+    @classmethod
+    def from_builder(cls, builder: "SyncIndexBuilder") -> "SyncIndex":
+        """Exact index accumulated incrementally (streaming ingestion)."""
+        return builder.build()
 
     @classmethod
     def from_recorder(cls, recorder: FlightRecorder) -> "SyncIndex":
@@ -266,6 +265,59 @@ class SyncIndex:
             if begin <= index and (end is None or index < end):
                 return ordinal
         return None
+
+
+class SyncIndexBuilder:
+    """Incrementally accumulate an *exact* :class:`SyncIndex`.
+
+    The streaming ingestion path (``repro.net.shard``) sees a session's
+    events chunk by chunk and cannot keep the full trace, but it can
+    afford this builder: sync operations are a few percent of a trace,
+    so holding all of them stays far below holding every access.  Feed
+    every event with its *global* trace position before analyzing it,
+    then :meth:`build`.  The result is indistinguishable from
+    :meth:`SyncIndex.from_trace` over the concatenated trace — which is
+    what makes streamed race reports byte-identical to offline ones.
+    """
+
+    __slots__ = ("_sync", "_marks", "events_indexed")
+
+    def __init__(self) -> None:
+        self._sync: Dict[int, List[Tuple[int, str, int]]] = {}
+        self._marks: List[Tuple[int, bool]] = []
+        self.events_indexed = 0
+
+    def add(self, index: int, event) -> None:
+        """Index one event at global trace position ``index``."""
+        kind = event.kind
+        if kind == SBEGIN or kind == SEND:
+            entering = kind == SBEGIN
+            marks = self._marks
+            if not marks or marks[-1][1] != entering:
+                marks.append((index, entering))
+        elif kind in SYNC_KINDS:
+            self._sync.setdefault(event.tid, []).append(
+                (index, kind, event.target)
+            )
+        self.events_indexed += 1
+
+    def add_chunk(self, start: int, events) -> int:
+        """Index a chunk whose first event sits at position ``start``;
+        returns the position one past the chunk's last event."""
+        index = start
+        for event in events:
+            self.add(index, event)
+            index += 1
+        return index
+
+    def build(self) -> SyncIndex:
+        """Snapshot the accumulated state as an exact index."""
+        return SyncIndex(
+            {tid: list(ops) for tid, ops in self._sync.items()},
+            self._marks,
+            source="trace",
+            complete=True,
+        )
 
 
 def _op_dicts(ops: List[Tuple[int, str, int]], cap: int = 6) -> List[Dict]:

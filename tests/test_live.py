@@ -162,3 +162,90 @@ class TestSamplingDriver:
 
         with pytest.raises(ValueError):
             SamplingDriver(mon, rate=1.5)
+
+
+class TestFinalizeSemantics:
+    """Regression: finalize must be idempotent *and* re-entrant.
+
+    The telemetry server finalizes a session's observer at every
+    disconnect and query, then again after a resume delivers more
+    events.  Historically the totals were written with ``inc()``, so a
+    second finalize double-counted every metric; now they are absolute
+    assignments guarded by a state snapshot.
+    """
+
+    def _observed_racy_run(self):
+        from repro.obs import RunObserver
+
+        obs = RunObserver()
+        mon = RaceMonitor(observer=obs)
+        counter = mon.shared("counter", 0)
+
+        def bump():
+            for _ in range(10):
+                counter.set(counter.get() + 1)
+
+        spawn_and_join(mon, bump, 2)
+        return mon, obs
+
+    def test_double_finalize_is_a_noop(self):
+        mon, obs = self._observed_racy_run()
+        mon.finalize()
+        first = obs.registry.snapshot()
+        first_timeline = len(obs.timeline)
+        mon.finalize()
+        mon.finalize()
+        assert obs.registry.snapshot() == first
+        # a repeat with identical detector state emits no extra probe
+        assert len(obs.timeline) == first_timeline
+
+    def test_refinalize_after_more_events_refreshes(self):
+        mon, obs = self._observed_racy_run()
+        mon.finalize()
+        events_before = obs.registry.counter("events").value
+        races_before = obs.registry.counter("races").value
+
+        counter = mon.shared("counter2", 0)
+
+        def bump():
+            for _ in range(10):
+                counter.set(counter.get() + 1)
+
+        spawn_and_join(mon, bump, 2)
+        mon.finalize()
+        reg = obs.registry
+        # absolute totals: refreshed to the new state, never doubled
+        assert reg.counter("events").value == mon.detector._events_seen
+        assert reg.counter("events").value > events_before
+        assert reg.counter("races").value == len(mon.detector.races)
+        assert reg.counter("races").value >= races_before
+        assert reg.counter("distinct_races").value == len(
+            mon.detector.distinct_races
+        )
+
+    def test_finalize_after_disconnect_matches_offline(self):
+        """Server-style finalize(disconnect) + finalize(close) equals a
+        single offline finalize over the same events."""
+        from repro.cli import DETECTORS
+        from repro.obs import RunObserver
+        from repro.trace.generator import random_trace
+
+        events = list(random_trace(length=300, seed=3).events)
+        half = len(events) // 2
+
+        # offline baseline: one run, one finalize
+        base = DETECTORS["fasttrack"]()
+        base_obs = RunObserver()
+        base_obs.attach(base)
+        base.run(events)
+        base_obs.finalize(base)
+
+        # streamed shape: finalize mid-stream (disconnect), then resume
+        det = DETECTORS["fasttrack"]()
+        obs = RunObserver()
+        obs.attach(det)
+        det.run(events[:half])
+        obs.finalize(det)  # disconnect folds progress
+        det.run(events[half:])
+        obs.finalize(det)  # clean close
+        assert obs.registry.snapshot() == base_obs.registry.snapshot()
