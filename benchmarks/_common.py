@@ -105,7 +105,10 @@ def write_bench_json(path, doc: Dict) -> None:
     """Write one benchmark's machine-readable results (CI artifact).
 
     Stable formatting (sorted keys, trailing newline) so committed
-    evidence files diff cleanly between runs.
+    evidence files diff cleanly between runs.  Each write also appends a
+    timestamped copy to ``BENCH_history.jsonl`` next to ``path`` — one
+    JSON object per line — so regressions can be traced across runs
+    without digging through CI artifact archives.
     """
     import json
 
@@ -113,6 +116,23 @@ def write_bench_json(path, doc: Dict) -> None:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {path}")
+    append_bench_history(path, doc)
+
+
+def append_bench_history(path, doc: Dict) -> None:
+    """Append ``doc`` (timestamped) to the sibling ``BENCH_history.jsonl``."""
+    import json
+    import time
+    from pathlib import Path
+
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **doc,
+    }
+    history = Path(path).resolve().parent / "BENCH_history.jsonl"
+    with open(history, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"appended {history.name}")
 
 
 def print_banner(title: str) -> None:

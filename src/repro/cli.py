@@ -885,6 +885,7 @@ def cmd_serve(args) -> int:
         max_sessions=args.max_sessions,
         spool_dir=args.spool_dir,
         log_path=args.log_out,
+        http=args.http,
     )
     server = TelemetryServer(config)
     server.start()
@@ -894,6 +895,9 @@ def cmd_serve(args) -> int:
     print(f"serving {server.address} "
           f"({args.shards} {args.shard_mode} shard(s), "
           f"{args.credits}-chunk credit window)")
+    if server.http_address:
+        print(f"observability http on {server.http_address} "
+              "(/metrics /status /healthz)")
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -908,7 +912,13 @@ def cmd_serve(args) -> int:
             with open(args.status_out, "w", encoding="utf-8") as fh:
                 json.dump(doc, fh, sort_keys=True, indent=2)
                 fh.write("\n")
+        # the merged service trace needs live shards: write before stop()
+        if args.trace_out:
+            server.write_trace(args.trace_out)
         server.stop()
+        # stop() finalizes every session, so the metrics fold is complete
+        if args.metrics_out:
+            server.write_metrics(args.metrics_out)
     report = doc["report"]
     print(
         f"served {len(doc['sessions'])} session(s): {report['events']} events, "
@@ -958,11 +968,34 @@ def cmd_net_report(args) -> int:
 
     from .net import query_server
 
+    want_trace = bool(args.trace_out)
     while True:
-        doc = query_server(args.address)
+        doc = query_server(args.address, trace=want_trace)
         if args.report_out:
             write_report(Path(args.report_out), doc["report"])
-        if args.json:
+        if args.metrics_out:
+            # round-trip through a registry for the canonical byte format
+            from .obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.merge_snapshot(doc.get("metrics", {}))
+            registry.write_json(args.metrics_out)
+        if args.trace_out:
+            if doc.get("trace_truncated"):
+                print(
+                    "warning: service trace exceeded the frame limit; "
+                    "use `repro serve --trace-out` instead",
+                    file=sys.stderr,
+                )
+            elif "trace" in doc:
+                with open(args.trace_out, "w", encoding="utf-8") as fh:
+                    json.dump(doc["trace"], fh, sort_keys=True)
+                    fh.write("\n")
+        if args.prom:
+            from .obs.prom import render_prometheus
+
+            print(render_prometheus(doc.get("metrics", {})), end="")
+        elif args.json:
             _print_json(doc)
         else:
             report = doc["report"]
@@ -980,6 +1013,39 @@ def cmd_net_report(args) -> int:
         if not args.follow:
             return 0
         time.sleep(args.interval)
+
+
+def cmd_top(args) -> int:
+    """Live operator console over a telemetry server (``repro top``)."""
+    import time
+
+    from .net import build_top_status, query_server, render_top
+
+    if args.once:
+        status = build_top_status(query_server(args.address))
+        if args.json:
+            _print_json(status)
+        else:
+            print(render_top(status), end="")
+        return 0
+    prev = None
+    try:
+        while True:  # pragma: no cover - interactive path
+            started = time.monotonic()
+            status = build_top_status(
+                query_server(args.address),
+                prev=prev,
+                interval=args.interval if prev is not None else None,
+            )
+            if args.json:
+                _print_json(status)
+            else:
+                # clear screen + home, like watch(1)
+                print("\x1b[2J\x1b[H" + render_top(status), end="", flush=True)
+            prev = status
+            time.sleep(max(args.interval - (time.monotonic() - started), 0.05))
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
 
 
 # -- parser ---------------------------------------------------------------------
@@ -1238,6 +1304,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None,
         help="serve for N seconds then exit (default: until ^C)",
     )
+    p.add_argument(
+        "--http", metavar="HOST:PORT",
+        help="expose /metrics (Prometheus), /status, /healthz over HTTP "
+        "(port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the final mergeable metrics snapshot (JSON) on shutdown",
+    )
+    p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the merged service Perfetto trace on shutdown",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("stream", help="stream a trace file to a server")
@@ -1268,7 +1347,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-out",
         help="write the merged repro/race-report/v1 document here",
     )
+    p.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the server's merged metrics snapshot (JSON) here",
+    )
+    p.add_argument(
+        "--trace-out", metavar="PATH",
+        help="request and write the merged service Perfetto trace here",
+    )
+    p.add_argument(
+        "--prom", action="store_true",
+        help="print the metrics in Prometheus text format instead",
+    )
     p.set_defaults(func=cmd_net_report)
+
+    p = sub.add_parser("top", help="live operator console for a server")
+    p.add_argument("--address", required=True, help="server address")
+    p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh interval in seconds (default 2)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print one sample and exit (rates are null)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit repro/top-status/v1 JSON instead of the dashboard",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

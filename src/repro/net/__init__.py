@@ -23,7 +23,11 @@ Layers (see ``docs/TELEMETRY.md`` for the wire format and lifecycle):
 * :mod:`repro.net.client` — :class:`TelemetryClient` (stream any event
   sequence) and :class:`TelemetryMonitor` (a
   :class:`~repro.live.RaceMonitor`-backed shim that forwards a real
-  threaded program's events to a server instead of analyzing locally).
+  threaded program's events to a server instead of analyzing locally);
+* :mod:`repro.net.http` — the observability sidecar (``/metrics``
+  Prometheus scrapes, ``/status`` JSON, ``/healthz``);
+* :mod:`repro.net.top` — the ``repro top`` operator console and its
+  versioned ``repro/top-status/v1`` machine-readable schema.
 """
 
 from .client import TelemetryClient, TelemetryMonitor, parse_address, query_server
@@ -39,9 +43,14 @@ from .protocol import (
     UnknownFrameType,
 )
 from .server import ServerConfig, TelemetryServer
+from .top import TOP_SCHEMA, build_top_status, render_top, validate_top_status
 
 __all__ = [
     "PROTOCOL_SCHEMA",
+    "TOP_SCHEMA",
+    "build_top_status",
+    "render_top",
+    "validate_top_status",
     "FrameCorrupt",
     "FrameDecoder",
     "FrameTooLarge",

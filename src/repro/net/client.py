@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.tracing import PID_CLIENT_BASE, SpanRecorder, chunk_flow_id
 from ..trace.events import SBEGIN, SEND, Event
 from .protocol import (
     DEFAULT_MAX_FRAME,
@@ -47,6 +49,7 @@ from .protocol import (
     Query,
     Report,
     Sites,
+    Spans,
     chunk_events,
     decode_message,
     encode_message,
@@ -96,6 +99,7 @@ class TelemetryClient:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         max_frame: int = DEFAULT_MAX_FRAME,
         timeout: float = 30.0,
+        trace: bool = True,
     ) -> None:
         self.address = address
         self.session = session
@@ -116,6 +120,12 @@ class TelemetryClient:
         self.credit_waits = 0
         self.events_sent = 0
         self.last_summary: Optional[Dict] = None
+        #: wire-propagated tracing (connect/handshake/chunk-send/resume
+        #: spans plus ``sent_ns`` chunk stamps); spans ship in a SPANS
+        #: frame before CLOSE.  Cost is per chunk, never per event.
+        self.trace = trace
+        self.trace_id = 0
+        self.recorder: Optional[SpanRecorder] = None
 
     # -- connection ----------------------------------------------------------
 
@@ -140,7 +150,9 @@ class TelemetryClient:
         the unacked buffer (they survived server-side) and newer ones
         are retransmitted in order.
         """
+        connect_start = time.monotonic_ns() // 1000
         self._open()
+        opened_at = time.monotonic_ns() // 1000
         self._send(
             Hello(
                 session=self.session,
@@ -151,11 +163,26 @@ class TelemetryClient:
         )
         ack = self._wait_for(HelloAck)
         self.credits = ack.credits
+        if self.trace and ack.trace_id:
+            self.trace_id = ack.trace_id
+            if self.recorder is None:
+                self.recorder = SpanRecorder(pid=PID_CLIENT_BASE + ack.trace_id)
+                self.recorder.thread_name(0, self.session)
+            self.recorder.span(
+                "connect", connect_start, args={"address": self.address}
+            )
+            self.recorder.span(
+                "resume" if resume else "handshake",
+                opened_at,
+                args={"session": self.session, "resume_seq": ack.resume_seq,
+                      "credits": ack.credits},
+            )
         if resume:
             self.unacked = [c for c in self.unacked if c.seq > ack.resume_seq]
-            for chunk in self.unacked:
-                self._send(chunk)
-                self.credits -= 1
+            retransmit = self.unacked
+            self.unacked = []
+            for chunk in retransmit:
+                self._send_chunk(chunk)
                 while self.credits <= 0:
                     self.credit_waits += 1
                     self._pump()
@@ -228,15 +255,40 @@ class TelemetryClient:
 
     # -- session operations --------------------------------------------------
 
+    def _send_chunk(self, chunk: EventsChunk) -> None:
+        """Stamp, trace, send, and track one EVENTS chunk (one credit)."""
+        start = self.recorder.begin() if self.recorder is not None else 0
+        if self.trace and self.trace_id:
+            # fresh stamp per (re)transmit so chunk lag is measured from
+            # the send that actually reached the server
+            chunk = EventsChunk(
+                seq=chunk.seq, events=chunk.events, sent_ns=time.monotonic_ns()
+            )
+        self._send(chunk)
+        if self.recorder is not None:
+            self.recorder.span(
+                "chunk-send",
+                start,
+                args={"seq": chunk.seq, "events": len(chunk.events)},
+                flow=chunk_flow_id(self.trace_id, chunk.seq),
+            )
+        self.credits -= 1
+        self.unacked.append(chunk)
+
     def send_events(self, events: Sequence[Event]) -> None:
         """Stream events as sequenced chunks, honoring the credit window."""
         for chunk in chunk_events(list(events), self.chunk_size, self.next_seq):
+            stall_start: Optional[int] = None
             while self.credits <= 0:
+                if stall_start is None and self.recorder is not None:
+                    stall_start = self.recorder.begin()
                 self.credit_waits += 1
                 self._pump()
-            self._send(chunk)
-            self.credits -= 1
-            self.unacked.append(chunk)
+            if stall_start is not None:
+                self.recorder.span(
+                    "credit-stall", stall_start, args={"before_seq": chunk.seq}
+                )
+            self._send_chunk(chunk)
             self.next_seq = chunk.seq + 1
             self.events_sent += len(chunk.events)
 
@@ -259,14 +311,38 @@ class TelemetryClient:
         while self.unacked:
             self._pump()
 
-    def query(self) -> Dict:
-        """The server's live status document (merged report + roster)."""
-        self._send(Query())
+    def query(self, trace: bool = False) -> Dict:
+        """The server's live status document (merged report + roster).
+
+        ``trace=True`` asks for the merged service trace too
+        (``doc["trace"]``, absent if it outgrew the frame ceiling).
+        """
+        self._send(Query(trace=trace))
         return self._wait_for(Report).doc
+
+    def ship_spans(self) -> int:
+        """Send the recorder's spans in a SPANS frame; returns the count.
+
+        Keeps the local buffer (a resume re-ships the grown batch; the
+        server keeps only the latest batch per sender).
+        """
+        if self.recorder is None or not len(self.recorder):
+            return 0
+        events = self.recorder.snapshot()
+        self._send(
+            Spans(
+                pid=self.recorder.pid,
+                name=f"client-{self.session}",
+                events=tuple(events),
+                dropped=self.recorder.dropped,
+            )
+        )
+        return len(events)
 
     def close(self) -> Dict:
         """Drain, send CLOSE, await the summary, drop the connection."""
         self.drain()
+        self.ship_spans()
         self._send(Close(seq=self.next_seq - 1))
         ack = self._wait_for(CloseAck)
         self.last_summary = ack.summary
@@ -286,16 +362,17 @@ class TelemetryClient:
                 self.abort()
 
 
-def query_server(address: str, timeout: float = 10.0) -> Dict:
+def query_server(address: str, timeout: float = 10.0, trace: bool = False) -> Dict:
     """One-shot sessionless status query: QUERY in, REPORT doc out.
 
     The server answers QUERY before any HELLO, so dashboards and
     ``repro report --follow`` can poll without owning a session.
+    ``trace=True`` also requests the merged service trace document.
     """
     client = TelemetryClient(address, session="-query-", timeout=timeout)
     client._open()
     try:
-        client._send(Query())
+        client._send(Query(trace=trace))
         return client._wait_for(Report).doc
     finally:
         client.abort()

@@ -29,11 +29,20 @@ Session lifecycle (client → server unless noted)::
       → HELLO_ACK {session, resume_seq, credits}     (server)
       → ERROR {code, detail}                         (server, then close)
     SITES {sites: {id: name}}          incremental site-name table
-    EVENTS <seq, binio v2 events>      consumes one credit
+    EVENTS <seq, sent_ns, binio v2 events>   consumes one credit
       → CREDIT {ack, credits}          (server: durable seq + replenish)
     HEARTBEAT {nonce}                  → HEARTBEAT {nonce}  (echo)
-    QUERY {}                           → REPORT {report, sessions, metrics}
+    SPANS {pid, name, dropped, events} client-side trace spans (optional)
+    QUERY {trace?}                     → REPORT {report, sessions, metrics}
     CLOSE {seq}                        → CLOSE_ACK {summary}
+
+Observability rides the same frames: HELLO_ACK carries a server-assigned
+``trace_id`` (used to derive cross-process flow-arrow ids), each EVENTS
+chunk carries the sender's monotonic ``sent_ns`` timestamp (zero when
+tracing is off) so the shard worker can histogram end-to-end chunk lag,
+and a client may ship its buffered spans in a SPANS frame before CLOSE
+so ``repro serve --trace-out`` merges client, front-tier, and
+shard-worker spans into one Perfetto document.
 
 Backpressure is credit-based: the server grants an initial window in
 HELLO_ACK, each EVENTS frame spends one credit, and the server returns
@@ -86,6 +95,7 @@ __all__ = [
     "Query",
     "Report",
     "Sites",
+    "Spans",
     "decode_message",
     "encode_message",
 ]
@@ -116,6 +126,7 @@ FRAME_ERROR = 8
 FRAME_QUERY = 9
 FRAME_REPORT = 10
 FRAME_SITES = 11
+FRAME_SPANS = 12
 
 FRAME_NAMES: Dict[int, str] = {
     FRAME_HELLO: "hello",
@@ -129,6 +140,7 @@ FRAME_NAMES: Dict[int, str] = {
     FRAME_QUERY: "query",
     FRAME_REPORT: "report",
     FRAME_SITES: "sites",
+    FRAME_SPANS: "spans",
 }
 
 
@@ -379,19 +391,32 @@ class Hello:
 
 @dataclass(frozen=True)
 class HelloAck:
-    """Server accepting a session."""
+    """Server accepting a session.
+
+    ``trace_id`` is the server-assigned id for wire-propagated tracing:
+    distinct per session (stable across resume), used by both ends to
+    derive cross-process flow-arrow ids.  Zero means unassigned.
+    """
 
     session: str
     resume_seq: int
     credits: int
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
 class EventsChunk:
-    """One sequenced chunk of trace events."""
+    """One sequenced chunk of trace events.
+
+    ``sent_ns`` is the sender's monotonic-clock nanosecond timestamp at
+    send time (zero when tracing is disabled); the shard worker that
+    applies the chunk subtracts it from its own monotonic clock to
+    observe end-to-end chunk lag.
+    """
 
     seq: int
     events: Tuple[Event, ...]
+    sent_ns: int = 0
 
 
 @dataclass(frozen=True)
@@ -436,7 +461,14 @@ class ErrorMessage:
 
 @dataclass(frozen=True)
 class Query:
-    """Ask the server for its live merged report and session roster."""
+    """Ask the server for its live merged report and session roster.
+
+    ``trace`` additionally requests the merged service trace document
+    (``doc["trace"]``) — off by default because span collection across
+    shard workers is the expensive part of a query.
+    """
+
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -453,9 +485,25 @@ class Sites:
     sites: Dict[int, str] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class Spans:
+    """Client-recorded trace spans, shipped once before CLOSE.
+
+    ``events`` are Chrome trace-event dicts from a
+    :class:`~repro.obs.tracing.SpanRecorder`; ``pid``/``name`` identify
+    the sending process's track in the merged service trace and
+    ``dropped`` counts spans lost to the recorder's bound.
+    """
+
+    pid: int
+    name: str
+    events: Tuple[Dict, ...] = ()
+    dropped: int = 0
+
+
 Message = Union[
     Hello, HelloAck, EventsChunk, Credit, Heartbeat, Close, CloseAck,
-    ErrorMessage, Query, Report, Sites,
+    ErrorMessage, Query, Report, Sites, Spans,
 ]
 
 
@@ -486,6 +534,7 @@ def encode_message(msg: Message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
                     "session": msg.session,
                     "resume_seq": msg.resume_seq,
                     "credits": msg.credits,
+                    "trace_id": msg.trace_id,
                 }
             ),
             max_frame,
@@ -493,6 +542,7 @@ def encode_message(msg: Message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
     if isinstance(msg, EventsChunk):
         out = bytearray()
         _write_varint(out, msg.seq)
+        _write_varint(out, msg.sent_ns)
         out += dumps_binary(msg.events)
         return encode_frame(FRAME_EVENTS, bytes(out), max_frame)
     if isinstance(msg, Credit):
@@ -518,13 +568,27 @@ def encode_message(msg: Message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
             max_frame,
         )
     if isinstance(msg, Query):
-        return encode_frame(FRAME_QUERY, _json_payload({}), max_frame)
+        doc = {"trace": True} if msg.trace else {}
+        return encode_frame(FRAME_QUERY, _json_payload(doc), max_frame)
     if isinstance(msg, Report):
         return encode_frame(FRAME_REPORT, _json_payload(msg.doc), max_frame)
     if isinstance(msg, Sites):
         return encode_frame(
             FRAME_SITES,
             _json_payload({"sites": {str(k): v for k, v in msg.sites.items()}}),
+            max_frame,
+        )
+    if isinstance(msg, Spans):
+        return encode_frame(
+            FRAME_SPANS,
+            _json_payload(
+                {
+                    "pid": msg.pid,
+                    "name": msg.name,
+                    "dropped": msg.dropped,
+                    "events": list(msg.events),
+                }
+            ),
             max_frame,
         )
     raise TypeError(f"cannot encode message {msg!r}")
@@ -575,11 +639,12 @@ def decode_message(frame: Frame) -> Message:
     ftype = frame.type
     if ftype == FRAME_EVENTS:
         seq, pos = _read_varint(frame.payload, 0)
+        sent_ns, pos = _read_varint(frame.payload, pos)
         try:
             trace = loads_binary(bytes(frame.payload[pos:]), validate=False)
         except (TraceFormatError, TraceError) as exc:
             raise PayloadError(f"events payload: {exc}") from None
-        return EventsChunk(seq=seq, events=tuple(trace.events))
+        return EventsChunk(seq=seq, events=tuple(trace.events), sent_ns=sent_ns)
     if ftype == FRAME_HELLO:
         doc = _json_doc(frame)
         schema = doc.get("schema")
@@ -605,10 +670,16 @@ def decode_message(frame: Frame) -> Message:
         )
     if ftype == FRAME_HELLO_ACK:
         doc = _json_doc(frame)
+        trace_id = doc.get("trace_id", 0)
+        if not isinstance(trace_id, int) or isinstance(trace_id, bool) or trace_id < 0:
+            raise PayloadError(
+                f"hello-ack field 'trace_id' must be an int >= 0, got {trace_id!r}"
+            )
         return HelloAck(
             session=_field(frame, doc, "session", str),
             resume_seq=_nonneg(frame, doc, "resume_seq"),
             credits=_nonneg(frame, doc, "credits"),
+            trace_id=trace_id,
         )
     if ftype == FRAME_CREDIT:
         doc = _json_doc(frame)
@@ -632,8 +703,11 @@ def decode_message(frame: Frame) -> Message:
             detail=_field(frame, doc, "detail", str),
         )
     if ftype == FRAME_QUERY:
-        _json_doc(frame)
-        return Query()
+        doc = _json_doc(frame)
+        trace = doc.get("trace", False)
+        if not isinstance(trace, bool):
+            raise PayloadError("query field 'trace' must be bool")
+        return Query(trace=trace)
     if ftype == FRAME_REPORT:
         return Report(doc=_json_doc(frame))
     if ftype == FRAME_SITES:
@@ -649,6 +723,19 @@ def decode_message(frame: Frame) -> Message:
                 raise PayloadError(f"sites name for {key!r} must be str")
             sites[site] = name
         return Sites(sites=sites)
+    if ftype == FRAME_SPANS:
+        doc = _json_doc(frame)
+        events = doc.get("events", [])
+        if not isinstance(events, list) or not all(
+            isinstance(ev, dict) for ev in events
+        ):
+            raise PayloadError("spans field 'events' must be a list of objects")
+        return Spans(
+            pid=_nonneg(frame, doc, "pid"),
+            name=_field(frame, doc, "name", str),
+            events=tuple(events),
+            dropped=_nonneg(frame, doc, "dropped"),
+        )
     raise UnknownFrameType(f"unknown frame type {ftype}")
 
 

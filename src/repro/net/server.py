@@ -59,6 +59,12 @@ from typing import Dict, List, Optional
 from ..analysis.parallel import DETECTOR_FACTORIES
 from ..obs.metrics import MetricsRegistry
 from ..obs.reports import merge_reports
+from ..obs.tracing import (
+    PID_FRONT,
+    PID_MERGE,
+    SpanRecorder,
+    assemble_service_trace,
+)
 from ..trace.binio import dumps_binary, loads_binary
 from .client import parse_address
 from .protocol import (
@@ -70,6 +76,7 @@ from .protocol import (
     ErrorMessage,
     EventsChunk,
     FrameDecoder,
+    FrameTooLarge,
     HandshakeError,
     Heartbeat,
     Hello,
@@ -79,17 +86,33 @@ from .protocol import (
     Report,
     SessionStateError,
     Sites,
+    Spans,
     decode_message,
     encode_message,
 )
 from .shard import ShardCrashed, ShardPool
 
-__all__ = ["ServerConfig", "TelemetryServer", "STATUS_SCHEMA"]
+__all__ = [
+    "LATENCY_BUCKETS_US",
+    "QUARANTINE_RESTARTS",
+    "ServerConfig",
+    "TelemetryServer",
+    "STATUS_SCHEMA",
+]
 
 #: schema of the live status document served on QUERY
 STATUS_SCHEMA = "repro/telemetry-status/v1"
 
 _RECV_CHUNK = 65536
+
+#: bucket bounds for the wall-clock latency histograms, in microseconds
+#: (powers of four: 4 us up to ~67 s, 13 buckets + overflow)
+LATENCY_BUCKETS_US = tuple(4 ** i for i in range(1, 14))
+
+#: a shard whose worker restarted more than this many times is flagged
+#: quarantined in the health gauges (observability only — recovery
+#: itself never gives up on a shard)
+QUARANTINE_RESTARTS = 3
 
 
 @dataclass(frozen=True)
@@ -115,6 +138,9 @@ class ServerConfig:
     chunk_delay: float = 0.0
     #: append human-readable server events to this file (CI artifacts)
     log_path: Optional[str] = None
+    #: ``host:port`` for the HTTP observability endpoint (``/metrics``
+    #: Prometheus text, ``/status`` JSON, ``/healthz``); None = off
+    http: Optional[str] = None
 
 
 class _Session:
@@ -123,12 +149,12 @@ class _Session:
     __slots__ = (
         "name", "detector", "backend", "shard", "applied_seq",
         "spool_path", "attached", "closed", "site_names", "last_doc",
-        "chunks", "owner", "lock",
+        "chunks", "owner", "lock", "trace_id",
     )
 
     def __init__(
         self, name: str, detector: str, backend: Optional[str],
-        shard: int, spool_path: Path,
+        shard: int, spool_path: Path, trace_id: int = 0,
     ) -> None:
         self.name = name
         self.detector = detector
@@ -136,6 +162,8 @@ class _Session:
         self.shard = shard
         self.applied_seq = 0
         self.spool_path = spool_path
+        #: server-assigned wire-tracing id (stable across resume)
+        self.trace_id = trace_id
         self.attached = False
         self.closed = False
         self.site_names: Dict[int, str] = {}
@@ -185,6 +213,21 @@ class TelemetryServer:
         self.address = config.address
         #: high-water mark of any connection's receive buffer, in bytes
         self.rx_buffer_high = 0
+        #: front-tier and merge-tier span recorders (always on; span
+        #: cost is per frame/fold, never per event)
+        self.recorder = SpanRecorder(pid=PID_FRONT)
+        self.merge_recorder = SpanRecorder(pid=PID_MERGE)
+        #: span batches shipped by clients in SPANS frames
+        self._client_spans: List[Dict] = []
+        self._spans_lock = threading.Lock()
+        self._trace_counter = 0
+        self._conn_counter = 0
+        #: in-flight shard dispatches per shard (queue-depth gauges)
+        self._queue_depth: List[int] = [0] * config.n_shards
+        self._queue_lock = threading.Lock()
+        self._http_server = None
+        #: bound address of the HTTP observability endpoint, once started
+        self.http_address: Optional[str] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -226,6 +269,12 @@ class TelemetryServer:
             target=self._accept_loop, name="telemetry-accept", daemon=True
         )
         self._accept_thread.start()
+        if cfg.http:
+            from .http import ObservabilityHTTPServer
+
+            self._http_server = ObservabilityHTTPServer(self, cfg.http)
+            self.http_address = self._http_server.address
+            self._log(f"observability endpoint on http://{self.http_address}")
         self._log(f"serving {self.address} with {cfg.n_shards} "
                   f"{cfg.shard_mode} shard(s)")
         return self
@@ -235,6 +284,8 @@ class TelemetryServer:
         if self._stopping.is_set():
             return
         self._stopping.set()
+        if self._http_server is not None:
+            self._http_server.stop()
         if self._listener is not None:
             self._listener.close()
         if self._accept_thread is not None:
@@ -302,6 +353,13 @@ class TelemetryServer:
         decoder = FrameDecoder(self.config.max_frame)
         sess: Optional[_Session] = None
         self.metrics.counter("net_connections_total").inc()
+        with self._queue_lock:
+            self._conn_counter += 1
+            conn_tid = self._conn_counter
+        self.recorder.thread_name(conn_tid, f"conn{conn_tid}")
+        decode_hist = self.metrics.histogram(
+            "net_frame_decode_us", buckets=LATENCY_BUCKETS_US
+        )
         try:
             sock.settimeout(0.5)
             while not self._stopping.is_set():
@@ -314,13 +372,22 @@ class TelemetryServer:
                 if not data:
                     decoder.close()  # raises FrameTruncated on a partial frame
                     break
-                for frame in decoder.feed(data):
+                decode_start = time.monotonic_ns()
+                frames = decoder.feed(data)
+                for frame in frames:
                     self.metrics.counter("net_frames_total").inc()
                     msg = decode_message(frame)
-                    sess = self._handle(sock, sess, msg)
-                if decoder.buffer_high > self.rx_buffer_high:
+                    decode_hist.observe(
+                        max((time.monotonic_ns() - decode_start) // 1000, 0)
+                    )
+                    sess = self._handle(sock, sess, msg, conn_tid)
+                    decode_start = time.monotonic_ns()
+                # true high-watermark: the gauge only ever rises, and the
+                # hot path touches it just when a new peak is observed
+                if self.metrics.gauge("net_rx_buffer_high").set_max(
+                    decoder.buffer_high
+                ):
                     self.rx_buffer_high = decoder.buffer_high
-                    self.metrics.gauge("net_rx_buffer_high").set(decoder.buffer_high)
         except ProtocolError as exc:
             self.metrics.counter("net_protocol_errors", code=exc.code).inc()
             self._log(
@@ -355,15 +422,27 @@ class TelemetryServer:
 
     # -- message handling ----------------------------------------------------
 
-    def _handle(self, sock, sess: Optional[_Session], msg) -> Optional[_Session]:
+    def _handle(
+        self, sock, sess: Optional[_Session], msg, conn_tid: int = 0
+    ) -> Optional[_Session]:
         if isinstance(msg, Hello):
-            return self._handle_hello(sock, sess, msg)
+            return self._handle_hello(sock, sess, msg, conn_tid)
         if isinstance(msg, Heartbeat):
             self._send(sock, Heartbeat(nonce=msg.nonce))
             self.metrics.counter("net_heartbeats_total").inc()
             return sess
         if isinstance(msg, Query):
-            self._send(sock, Report(doc=self.query_doc()))
+            doc = self.query_doc()
+            if msg.trace:
+                doc = dict(doc, trace=self.trace_doc())
+            try:
+                self._send(sock, Report(doc=doc))
+            except FrameTooLarge:
+                # a span-heavy trace can outgrow the frame ceiling; the
+                # report itself still has to get through
+                doc.pop("trace", None)
+                doc["trace_truncated"] = True
+                self._send(sock, Report(doc=doc))
             return sess
         if isinstance(msg, (HelloAck, Credit, CloseAck, Report, ErrorMessage)):
             raise SessionStateError(
@@ -375,18 +454,51 @@ class TelemetryServer:
                 f"{type(msg).__name__.lower()} before hello: open a session first"
             )
         if isinstance(msg, EventsChunk):
-            self._handle_events(sock, sess, msg)
+            self._handle_events(sock, sess, msg, conn_tid)
             return sess
         if isinstance(msg, Sites):
             sess.site_names.update(msg.sites)
             self._shard_call(sess, lambda: self._pool.add_sites(sess.name, msg.sites))
+            return sess
+        if isinstance(msg, Spans):
+            self._handle_spans(sess, msg)
             return sess
         if isinstance(msg, Close):
             self._handle_close(sock, sess, msg)
             return sess
         raise SessionStateError(f"unhandled message {type(msg).__name__}")
 
-    def _handle_hello(self, sock, conn_sess, hello: Hello) -> _Session:
+    def _handle_spans(self, sess: _Session, spans: Spans) -> None:
+        """Store a client's span batch for the merged service trace."""
+        group = {
+            "pid": spans.pid,
+            "name": spans.name,
+            "events": list(spans.events),
+            "dropped": spans.dropped,
+        }
+        stall_hist = self.metrics.histogram(
+            "net_credit_stall_us", buckets=LATENCY_BUCKETS_US
+        )
+        for ev in spans.events:
+            # fold client-observed credit stalls into the scrape metrics
+            if ev.get("ph") == "X" and ev.get("name") == "credit-stall":
+                dur = ev.get("dur")
+                if isinstance(dur, (int, float)) and dur >= 0:
+                    stall_hist.observe(int(dur))
+        with self._spans_lock:
+            # one batch per (pid, name): a resume re-ships the whole
+            # buffer, so keep only the latest batch from each sender
+            self._client_spans = [
+                g for g in self._client_spans
+                if (g["pid"], g["name"]) != (group["pid"], group["name"])
+            ]
+            self._client_spans.append(group)
+        self.metrics.counter("net_span_batches_total").inc()
+
+    def _handle_hello(
+        self, sock, conn_sess, hello: Hello, conn_tid: int = 0
+    ) -> _Session:
+        admit_start = self.recorder.begin()
         if conn_sess is not None:
             raise SessionStateError(
                 f"second hello on one connection (session "
@@ -423,9 +535,11 @@ class TelemetryServer:
                         f"({self.config.max_sessions} sessions)"
                     )
                 spool = self._spool_dir / f"{len(self._sessions):04d}.spool"
+                self._trace_counter += 1
                 sess = _Session(
                     hello.session, hello.detector, hello.backend,
                     shard=self._pool.shard_of(hello.session), spool_path=spool,
+                    trace_id=self._trace_counter,
                 )
                 sess.attached = True
                 sess.owner = sock
@@ -451,7 +565,8 @@ class TelemetryServer:
             self._shard_call(
                 sess,
                 lambda: self._pool.open_session(
-                    sess.name, sess.detector, sess.backend
+                    sess.name, sess.detector, sess.backend,
+                    trace_id=sess.trace_id,
                 ),
             )
             self.metrics.counter("net_sessions_opened").inc()
@@ -462,17 +577,31 @@ class TelemetryServer:
         else:
             self.metrics.counter("net_sessions_resumed").inc()
             self._log(f"session {sess.name} resumed at seq {sess.applied_seq}")
+        self.recorder.span(
+            "session-admission",
+            admit_start,
+            tid=conn_tid,
+            args={
+                "session": sess.name,
+                "resumed": resumed,
+                "shard": sess.shard,
+                "trace_id": sess.trace_id,
+            },
+        )
         self._send(
             sock,
             HelloAck(
                 session=sess.name,
                 resume_seq=sess.applied_seq,
                 credits=self.config.credits,
+                trace_id=sess.trace_id,
             ),
         )
         return sess
 
-    def _handle_events(self, sock, sess: _Session, chunk: EventsChunk) -> None:
+    def _handle_events(
+        self, sock, sess: _Session, chunk: EventsChunk, conn_tid: int = 0
+    ) -> None:
         with sess.lock:
             if sess.owner is not sock:
                 # a resume took this session over while our frame was in
@@ -496,7 +625,24 @@ class TelemetryServer:
                     f"{chunk.seq}, expected {sess.applied_seq + 1}"
                 )
             events = list(chunk.events)
-            self._shard_call(sess, lambda: self._pool.apply(sess.name, events))
+            meta = {"seq": chunk.seq, "sent_ns": chunk.sent_ns, "replay": False}
+            dispatch_start = self.recorder.begin()
+            _races, lag_us = self._shard_call(
+                sess, lambda: self._pool.apply(sess.name, events, meta)
+            )
+            # the dispatch span is the front tier's backpressure wait:
+            # its width is how long this chunk queued behind its shard
+            self.recorder.span(
+                "shard-dispatch",
+                dispatch_start,
+                tid=conn_tid,
+                args={"session": sess.name, "seq": chunk.seq,
+                      "shard": sess.shard, "events": len(events)},
+            )
+            if lag_us >= 0:
+                self.metrics.histogram(
+                    "net_chunk_lag_us", buckets=LATENCY_BUCKETS_US
+                ).observe(lag_us)
             payload = dumps_binary(events)
             with open(sess.spool_path, "ab") as fh:
                 fh.write(len(payload).to_bytes(4, "little"))
@@ -543,16 +689,37 @@ class TelemetryServer:
     # -- shard plumbing ------------------------------------------------------
 
     def _shard_call(self, sess: _Session, call):
-        """Run one shard request, recovering (once) from a worker crash."""
+        """Run one shard request, recovering (once) from a worker crash.
+
+        Also samples the shard's dispatch queue depth (requests in
+        flight or waiting on the shard's pipe lock) into the per-shard
+        gauge and the depth histogram — the service-level view of how
+        hot each shard runs.
+        """
+        shard = sess.shard
+        with self._queue_lock:
+            self._queue_depth[shard] += 1
+            depth = self._queue_depth[shard]
+            self.metrics.gauge("net_shard_queue_depth", shard=shard).set(depth)
+            self.metrics.histogram("net_shard_queue_depth_hist").observe(depth)
         try:
-            return call()
-        except ShardCrashed as exc:
-            self._recover(exc.shard)
-            return call()
+            try:
+                return call()
+            except ShardCrashed as exc:
+                self._recover(exc.shard)
+                return call()
+        finally:
+            with self._queue_lock:
+                self._queue_depth[shard] -= 1
+                self.metrics.gauge(
+                    "net_shard_queue_depth", shard=shard
+                ).set(self._queue_depth[shard])
 
     def _recover(self, shard: int) -> None:
         """Respawn a dead shard worker and replay its sessions' spools."""
         assert self._pool is not None
+        recover_start = self.recorder.begin()
+        replayed_chunks = [0]
 
         def replay(call) -> None:
             with self._sessions_lock:
@@ -560,11 +727,13 @@ class TelemetryServer:
                     s for s in self._sessions.values() if s.shard == shard
                 ]
             for sess in sorted(owned, key=lambda s: s.name):
-                call(("open", sess.name, sess.detector, sess.backend))
+                call(("open", sess.name, sess.detector, sess.backend,
+                      sess.trace_id))
                 if sess.site_names:
                     call(("sites", sess.name, dict(sess.site_names)))
                 for events in _read_spool(sess.spool_path):
-                    call(("events", sess.name, events))
+                    call(("events", sess.name, events, {"replay": True}))
+                    replayed_chunks[0] += 1
                 self._log(
                     f"replayed session {sess.name}: {sess.applied_seq} "
                     f"spooled chunk(s)"
@@ -574,6 +743,12 @@ class TelemetryServer:
         self._log(f"shard {shard} crashed; respawning and replaying spools")
         if self._pool.recover(shard, replay):
             self.metrics.counter("net_worker_restarts").inc()
+            self.recorder.span(
+                "crash-recovery",
+                recover_start,
+                tid=0,
+                args={"shard": shard, "replayed_chunks": replayed_chunks[0]},
+            )
 
     def _finalize_session(self, sess: _Session) -> Dict:
         doc = self._shard_call(sess, lambda: self._pool.finalize(sess.name))
@@ -589,6 +764,7 @@ class TelemetryServer:
         (cheap — finalize is absolute-valued and re-entrant), so the
         answer always reflects every durably applied chunk.
         """
+        fold_start = self.merge_recorder.begin()
         with self._sessions_lock:
             sessions = sorted(self._sessions.values(), key=lambda s: s.name)
         if refresh:
@@ -599,6 +775,7 @@ class TelemetryServer:
                     self._recover(exc.shard)
                     self._finalize_session(sess)
         docs = [sess.last_doc for sess in sessions if sess.last_doc]
+        self._update_shard_health()
         merged_metrics = MetricsRegistry()
         merged_metrics.merge(self.metrics)
         for doc in docs:
@@ -619,7 +796,7 @@ class TelemetryServer:
             }
             for sess in sessions
         ]
-        return {
+        doc = {
             "schema": STATUS_SCHEMA,
             "address": self.address,
             "sessions": roster,
@@ -634,10 +811,102 @@ class TelemetryServer:
                 "shard_mode": self.config.shard_mode,
             },
         }
+        self.merge_recorder.span(
+            "status-fold",
+            fold_start,
+            args={"sessions": len(sessions), "refresh": refresh},
+        )
+        return doc
+
+    def _update_shard_health(self) -> None:
+        """Refresh the per-shard health and quarantine gauges."""
+        pool = self._pool
+        if pool is None:
+            return
+        for shard in range(pool.n_shards):
+            restarts = pool.restarts_by_shard[shard]
+            self.metrics.gauge("net_shard_up", shard=shard).set(
+                1 if pool.alive(shard) else 0
+            )
+            self.metrics.gauge("net_shard_restarts", shard=shard).set(restarts)
+            self.metrics.gauge("net_shard_quarantined", shard=shard).set(
+                1 if restarts > QUARANTINE_RESTARTS else 0
+            )
 
     def merged_report(self, refresh: bool = True) -> Dict:
         """Just the merged ``repro/race-report/v1`` document."""
         return self.query_doc(refresh=refresh)["report"]
+
+    # -- observability surfaces ----------------------------------------------
+
+    def trace_doc(self) -> Dict:
+        """One merged Perfetto document spanning every service process.
+
+        Folds the front tier's and merge tier's recorders, every live
+        shard worker's span buffer, and any span batches clients shipped
+        in SPANS frames into a single Chrome trace-event JSON object
+        with rebased timestamps and validated flow arrows.
+        """
+        groups: List[Dict] = [
+            {
+                "pid": PID_FRONT,
+                "name": "front",
+                "events": self.recorder.snapshot(),
+                "dropped": self.recorder.dropped,
+            },
+            {
+                "pid": PID_MERGE,
+                "name": "merge",
+                "events": self.merge_recorder.snapshot(),
+                "dropped": self.merge_recorder.dropped,
+            },
+        ]
+        if self._pool is not None:
+            groups.extend(self._pool.trace_groups())
+        with self._spans_lock:
+            groups.extend(self._client_spans)
+        return assemble_service_trace(groups)
+
+    def write_trace(self, path) -> None:
+        """Write the merged service trace as JSON (CI artifact helper)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.trace_doc(), fh, sort_keys=True)
+            fh.write("\n")
+
+    def metrics_registry(self, refresh: bool = False) -> MetricsRegistry:
+        """Server metrics merged with every session's snapshot.
+
+        ``refresh=False`` folds the docs captured at the last finalize —
+        cheap enough for a scrape endpoint hit every few seconds.
+        """
+        if refresh:
+            merged = MetricsRegistry()
+            merged.merge_snapshot(self.query_doc()["metrics"])
+            return merged
+        self._update_shard_health()
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
+        with self._sessions_lock:
+            docs = [
+                s.last_doc for s in self._sessions.values() if s.last_doc
+            ]
+        for doc in sorted(docs, key=lambda d: d["session"]):
+            merged.merge_snapshot(doc["metrics"])
+        return merged
+
+    def prometheus_text(self, refresh: bool = False) -> str:
+        """The ``/metrics`` scrape body (Prometheus text format)."""
+        from ..obs.prom import render_prometheus
+
+        return render_prometheus(self.metrics_registry(refresh=refresh).snapshot())
+
+    def write_metrics(self, path) -> None:
+        """Dump the final mergeable metrics snapshot (``--metrics-out``).
+
+        Safe after :meth:`stop`: shutdown finalizes every session, so
+        the fold over captured docs is complete without touching shards.
+        """
+        self.metrics_registry(refresh=False).write_json(path)
 
     def session_doc(self, name: str, refresh: bool = True) -> Dict:
         """One session's full result document (report, counters, metrics)."""

@@ -48,6 +48,7 @@ from ..analysis.supervisor import PipeWorker
 from ..obs.observer import RunObserver
 from ..obs.provenance import DEFAULT_WINDOW, FlightRecorder, SyncIndexBuilder
 from ..obs.reports import build_report
+from ..obs.tracing import PID_SHARD_BASE, SpanRecorder, chunk_flow_id
 from ..util.faults import CRASH_EXIT_CODE
 
 __all__ = [
@@ -96,6 +97,7 @@ class SessionHost:
         detector_name: str = "fasttrack",
         backend: Optional[str] = None,
         window: int = DEFAULT_WINDOW,
+        trace_id: int = 0,
     ) -> None:
         factory = DETECTOR_FACTORIES.get(detector_name)
         if factory is None:
@@ -111,6 +113,8 @@ class SessionHost:
         self.sync_builder = SyncIndexBuilder()
         self.chunks_applied = 0
         self.site_names: Dict[int, str] = {}
+        #: wire-propagated trace id (0 = tracing off for this session)
+        self.trace_id = trace_id
 
     def apply(self, events: Sequence) -> int:
         """Analyze one chunk; returns the session's total race count."""
@@ -162,24 +166,69 @@ class SessionHost:
 
 
 class _HostTable:
-    """The op dispatch shared by worker processes and inline mode."""
+    """The op dispatch shared by worker processes and inline mode.
 
-    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+    Holds the worker's :class:`~repro.obs.tracing.SpanRecorder` (one per
+    shard process, pid ``PID_SHARD_BASE + shard``): each applied chunk
+    becomes a span on the owning session's track, spool replays are
+    labeled as such, and the span that applies a traced chunk closes the
+    client's ``chunk-sent`` flow arrow.  Span cost is per *chunk*, not
+    per event, so the detector hot loops are untouched.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, shard: int = 0) -> None:
         self.window = window
+        self.shard = shard
         self.hosts: Dict[str, SessionHost] = {}
+        self.recorder = SpanRecorder(pid=PID_SHARD_BASE + shard)
+        self._tids: Dict[str, int] = {}
 
-    def open(self, session: str, detector: str, backend: Optional[str]) -> None:
+    def _tid(self, session: str) -> int:
+        tid = self._tids.get(session)
+        if tid is None:
+            tid = self._tids[session] = len(self._tids) + 1
+            self.recorder.thread_name(tid, session)
+        return tid
+
+    def open(self, session: str, detector: str, backend: Optional[str],
+             trace_id: int = 0) -> None:
         # idempotent: replay after a crash re-opens existing sessions
         if session not in self.hosts:
             self.hosts[session] = SessionHost(
-                session, detector, backend=backend, window=self.window
+                session, detector, backend=backend, window=self.window,
+                trace_id=trace_id,
             )
 
-    def events(self, session: str, events: Sequence) -> int:
+    def events(self, session: str, events: Sequence, meta=None) -> tuple:
         host = self.hosts.get(session)
         if host is None:
             raise ShardError(f"no open session {session!r} on this shard")
-        return host.apply(events)
+        meta = meta or {}
+        start = self.recorder.begin()
+        races = host.apply(events)
+        sent_ns = meta.get("sent_ns", 0)
+        lag_us = -1
+        if sent_ns:
+            lag_us = max((time.monotonic_ns() - sent_ns) // 1000, 0)
+        replay = bool(meta.get("replay"))
+        seq = meta.get("seq")
+        flow_in = None
+        if host.trace_id and seq is not None and not replay:
+            flow_in = chunk_flow_id(host.trace_id, seq)
+        args = {"session": session, "events": len(events)}
+        if seq is not None:
+            args["seq"] = seq
+        if lag_us >= 0:
+            args["lag_us"] = lag_us
+        self.recorder.span(
+            "replay-chunk" if replay else "apply-chunk",
+            start,
+            tid=self._tid(session),
+            cat="shard",
+            args=args,
+            flow_in=flow_in,
+        )
+        return races, lag_us
 
     def sites(self, session: str, sites: Dict[int, str]) -> None:
         host = self.hosts.get(session)
@@ -196,9 +245,19 @@ class _HostTable:
     def drop(self, session: str) -> None:
         self.hosts.pop(session, None)
 
+    def trace_group(self) -> Dict:
+        """This worker's span batch for the merged service trace."""
+        return {
+            "pid": self.recorder.pid,
+            "name": f"shard{self.shard}",
+            "events": self.recorder.snapshot(),
+            "dropped": self.recorder.dropped,
+        }
+
 
 def _shard_main(
     conn,
+    shard: int = 0,
     crash_after: Optional[int] = None,
     chunk_delay: float = 0.0,
     window: int = DEFAULT_WINDOW,
@@ -210,7 +269,7 @@ def _shard_main(
     the parent sees EOF mid-request, exactly like a real worker death,
     and the not-yet-applied chunk is the one the server must retry.
     """
-    table = _HostTable(window=window)
+    table = _HostTable(window=window, shard=shard)
     events_messages = 0
     while True:
         try:
@@ -222,7 +281,7 @@ def _shard_main(
             return
         try:
             if op == "open":
-                table.open(msg[1], msg[2], msg[3])
+                table.open(msg[1], msg[2], msg[3], msg[4] if len(msg) > 4 else 0)
                 conn.send(("ok", None))
             elif op == "events":
                 if chunk_delay > 0.0:
@@ -230,7 +289,8 @@ def _shard_main(
                 events_messages += 1
                 if crash_after is not None and events_messages >= crash_after:
                     os._exit(CRASH_EXIT_CODE)
-                conn.send(("ok", table.events(msg[1], msg[2])))
+                meta = msg[3] if len(msg) > 3 else None
+                conn.send(("ok", table.events(msg[1], msg[2], meta)))
             elif op == "sites":
                 table.sites(msg[1], msg[2])
                 conn.send(("ok", None))
@@ -241,6 +301,8 @@ def _shard_main(
                 conn.send(("ok", None))
             elif op == "ping":
                 conn.send(("ok", "pong"))
+            elif op == "trace":
+                conn.send(("ok", table.trace_group()))
             else:
                 conn.send(("fail", f"unknown shard op {op!r}"))
         except Exception as exc:
@@ -253,19 +315,28 @@ def _shard_main(
 class _InlineShard:
     """Same dispatch as a worker process, executed in-process."""
 
-    def __init__(self, chunk_delay: float = 0.0, window: int = DEFAULT_WINDOW) -> None:
-        self.table = _HostTable(window=window)
+    def __init__(
+        self,
+        chunk_delay: float = 0.0,
+        window: int = DEFAULT_WINDOW,
+        shard: int = 0,
+    ) -> None:
+        self.table = _HostTable(window=window, shard=shard)
         self.chunk_delay = chunk_delay
 
     def call(self, msg):
         op = msg[0]
         try:
             if op == "open":
-                return self.table.open(msg[1], msg[2], msg[3])
+                return self.table.open(
+                    msg[1], msg[2], msg[3], msg[4] if len(msg) > 4 else 0
+                )
             if op == "events":
                 if self.chunk_delay > 0.0:
                     time.sleep(self.chunk_delay)
-                return self.table.events(msg[1], msg[2])
+                return self.table.events(
+                    msg[1], msg[2], msg[3] if len(msg) > 3 else None
+                )
             if op == "sites":
                 return self.table.sites(msg[1], msg[2])
             if op == "finalize":
@@ -274,6 +345,8 @@ class _InlineShard:
                 return self.table.drop(msg[1])
             if op == "ping":
                 return "pong"
+            if op == "trace":
+                return self.table.trace_group()
         except ShardError:
             raise
         except Exception as exc:
@@ -314,12 +387,14 @@ class ShardPool:
         self.window = window
         self.chunk_delay = chunk_delay
         self.worker_restarts = 0
+        #: restarts per shard, for health/quarantine gauges
+        self.restarts_by_shard: List[int] = [0] * n_shards
         self._locks = [threading.Lock() for _ in range(n_shards)]
         self._stopped = False
         if mode == "inline":
             self._inline: List[_InlineShard] = [
-                _InlineShard(chunk_delay=chunk_delay, window=window)
-                for _ in range(n_shards)
+                _InlineShard(chunk_delay=chunk_delay, window=window, shard=shard)
+                for shard in range(n_shards)
             ]
             self._workers: List[Optional[PipeWorker]] = []
         else:
@@ -334,7 +409,7 @@ class ShardPool:
         return PipeWorker(
             self._ctx,
             _shard_main,
-            (crash_after, self.chunk_delay, self.window),
+            (shard, crash_after, self.chunk_delay, self.window),
         )
 
     def shard_of(self, session: str) -> int:
@@ -386,19 +461,34 @@ class ShardPool:
             worker.kill()
             self._workers[shard] = self._spawn(shard, None)
             self.worker_restarts += 1
+            self.restarts_by_shard[shard] += 1
             replay(lambda msg: self._roundtrip(shard, msg))
             return True
 
     # -- session ops ---------------------------------------------------------
 
     def open_session(
-        self, session: str, detector: str = "fasttrack", backend: Optional[str] = None
+        self,
+        session: str,
+        detector: str = "fasttrack",
+        backend: Optional[str] = None,
+        trace_id: int = 0,
     ) -> None:
-        self._call(self.shard_of(session), ("open", session, detector, backend))
+        self._call(
+            self.shard_of(session), ("open", session, detector, backend, trace_id)
+        )
 
-    def apply(self, session: str, events: Sequence) -> int:
-        """Analyze one chunk; returns the session's race count so far."""
-        return self._call(self.shard_of(session), ("events", session, list(events)))
+    def apply(self, session: str, events: Sequence, meta: Optional[Dict] = None):
+        """Analyze one chunk.
+
+        Returns ``(races, lag_us)``: the session's race count so far and
+        the end-to-end chunk lag in microseconds (``-1`` when the chunk
+        carried no ``sent_ns`` timestamp).  ``meta`` forwards tracing
+        context to the worker: ``{"seq", "sent_ns", "replay"}``.
+        """
+        return self._call(
+            self.shard_of(session), ("events", session, list(events), meta)
+        )
 
     def add_sites(self, session: str, sites: Dict[int, str]) -> None:
         self._call(self.shard_of(session), ("sites", session, dict(sites)))
@@ -411,6 +501,30 @@ class ShardPool:
 
     def ping(self, shard: int) -> bool:
         return self._call(shard, ("ping",)) == "pong"
+
+    def alive(self, shard: int) -> bool:
+        """Liveness without a pipe round trip (process-table check)."""
+        if self.mode == "inline":
+            return not self._stopped
+        return self._workers[shard].alive()
+
+    def trace(self, shard: int) -> Dict:
+        """The shard worker's span batch (pid, name, events, dropped)."""
+        return self._call(shard, ("trace",))
+
+    def trace_groups(self) -> List[Dict]:
+        """Span batches from every live shard; dead shards are skipped.
+
+        A crashed-and-not-yet-recovered worker holds no spans worth
+        waiting for; the caller still gets every healthy shard's view.
+        """
+        groups: List[Dict] = []
+        for shard in range(self.n_shards):
+            try:
+                groups.append(self.trace(shard))
+            except (ShardCrashed, ShardError):  # pragma: no cover - race
+                continue
+        return groups
 
     def stop(self) -> None:
         if self._stopped:

@@ -1,0 +1,296 @@
+"""``repro top`` — the live operator console over a telemetry server.
+
+Builds a compact, *versioned* view (``repro/top-status/v1``) out of the
+server's ``repro/telemetry-status/v1`` query document: session counts,
+event/chunk throughput (rates need two samples, so ``--once`` reports
+``null``), race totals, per-shard health (up / restarts / quarantined /
+queue depth / owned sessions), protocol-error taxonomy, and the
+backpressure picture (receive-buffer high-water mark, credit stalls,
+chunk lag percentiles-by-proxy via histogram mean).
+
+Two consumers, one builder:
+
+* :func:`render_top` — the refreshing terminal dashboard
+  (``repro top --address ...``);
+* ``repro top --once --json`` — one schema-stable JSON document for
+  scripting and CI (:func:`validate_top_status` pins the shape; the
+  *keys* never depend on state backend, shard mode, or traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+__all__ = [
+    "TOP_SCHEMA",
+    "build_top_status",
+    "render_top",
+    "validate_top_status",
+]
+
+TOP_SCHEMA = "repro/top-status/v1"
+
+
+def _counter(metrics: Mapping, name: str) -> int:
+    return int(metrics.get("counters", {}).get(name, 0))
+
+
+def _gauge(metrics: Mapping, key: str) -> int:
+    g = metrics.get("gauges", {}).get(key)
+    return int(g["value"]) if g else 0
+
+
+def _hist(metrics: Mapping, name: str) -> Dict:
+    h = metrics.get("histograms", {}).get(name)
+    count = int(h["count"]) if h else 0
+    total = int(h["total"]) if h else 0
+    return {
+        "count": count,
+        "total": total,
+        "mean": (total / count) if count else None,
+    }
+
+
+def _rate(
+    current: int, prev_status: Optional[Mapping], path: str,
+    interval: Optional[float],
+) -> Optional[float]:
+    if prev_status is None or not interval or interval <= 0:
+        return None
+    previous = prev_status.get(path, {}).get("total")
+    if not isinstance(previous, (int, float)):
+        return None
+    return max(current - previous, 0) / interval
+
+
+def build_top_status(
+    doc: Mapping,
+    prev: Optional[Mapping] = None,
+    interval: Optional[float] = None,
+) -> Dict:
+    """Fold one status document into a ``repro/top-status/v1`` object.
+
+    ``prev`` is the *previous* top-status sample and ``interval`` the
+    seconds between the two; rates are ``None`` without both (the
+    ``--once`` contract: a single sample has no rate).  The key set is
+    fixed — independent of backend, traffic, shard mode, or failures —
+    so CI can diff documents structurally.
+    """
+    metrics = doc.get("metrics", {})
+    server = doc.get("server", {})
+    roster = doc.get("sessions", [])
+    report = doc.get("report", {})
+    n_shards = int(server.get("shards", 0))
+    by_state = {"attached": 0, "detached": 0, "closed": 0}
+    sessions_by_shard: Dict[int, int] = {}
+    for entry in roster:
+        state = entry.get("state")
+        if state in by_state:
+            by_state[state] += 1
+        shard = int(entry.get("shard", 0))
+        sessions_by_shard[shard] = sessions_by_shard.get(shard, 0) + 1
+    errors_by_code = {}
+    for key, value in metrics.get("counters", {}).items():
+        if key.startswith("net_protocol_errors{code="):
+            code = key[len("net_protocol_errors{code="):-1]
+            errors_by_code[code] = int(value)
+    events_total = _counter(metrics, "net_events_total")
+    chunks_total = _counter(metrics, "net_chunks_total")
+    stall = _hist(metrics, "net_credit_stall_us")
+    lag = _hist(metrics, "net_chunk_lag_us")
+    shards = [
+        {
+            "shard": shard,
+            "up": bool(_gauge(metrics, f"net_shard_up{{shard={shard}}}")),
+            "restarts": _gauge(metrics, f"net_shard_restarts{{shard={shard}}}"),
+            "quarantined": bool(
+                _gauge(metrics, f"net_shard_quarantined{{shard={shard}}}")
+            ),
+            "queue_depth": _gauge(
+                metrics, f"net_shard_queue_depth{{shard={shard}}}"
+            ),
+            "sessions": sessions_by_shard.get(shard, 0),
+        }
+        for shard in range(n_shards)
+    ]
+    return {
+        "schema": TOP_SCHEMA,
+        "address": doc.get("address", ""),
+        "sessions": {
+            "total": len(roster),
+            "attached": by_state["attached"],
+            "detached": by_state["detached"],
+            "closed": by_state["closed"],
+        },
+        "events": {
+            "total": events_total,
+            "per_sec": _rate(events_total, prev, "events", interval),
+        },
+        "chunks": {
+            "total": chunks_total,
+            "per_sec": _rate(chunks_total, prev, "chunks", interval),
+        },
+        "races": {
+            "dynamic": int(report.get("dynamic_races", 0)),
+            "distinct": int(report.get("distinct_races", 0)),
+        },
+        "shards": shards,
+        "protocol_errors": {
+            "total": sum(errors_by_code.values()),
+            "by_code": {k: errors_by_code[k] for k in sorted(errors_by_code)},
+        },
+        "backpressure": {
+            "rx_buffer_high": int(server.get("rx_buffer_high", 0)),
+            "credit_stalls": stall["count"],
+            "credit_stall_us_mean": stall["mean"],
+            "chunk_lag_us_mean": lag["mean"],
+            "duplicate_chunks": _counter(metrics, "net_duplicate_chunks"),
+        },
+        "server": {
+            "worker_restarts": int(server.get("worker_restarts", 0)),
+            "shards": n_shards,
+            "shard_mode": str(server.get("shard_mode", "")),
+        },
+    }
+
+
+#: required key shape: path -> type (None = any JSON value incl. null)
+_REQUIRED = {
+    ("schema",): str,
+    ("address",): str,
+    ("sessions", "total"): int,
+    ("sessions", "attached"): int,
+    ("sessions", "detached"): int,
+    ("sessions", "closed"): int,
+    ("events", "total"): int,
+    ("events", "per_sec"): None,
+    ("chunks", "total"): int,
+    ("chunks", "per_sec"): None,
+    ("races", "dynamic"): int,
+    ("races", "distinct"): int,
+    ("shards",): list,
+    ("protocol_errors", "total"): int,
+    ("protocol_errors", "by_code"): dict,
+    ("backpressure", "rx_buffer_high"): int,
+    ("backpressure", "credit_stalls"): int,
+    ("backpressure", "credit_stall_us_mean"): None,
+    ("backpressure", "chunk_lag_us_mean"): None,
+    ("backpressure", "duplicate_chunks"): int,
+    ("server", "worker_restarts"): int,
+    ("server", "shards"): int,
+    ("server", "shard_mode"): str,
+}
+
+_SHARD_KEYS = {
+    "shard": int,
+    "up": bool,
+    "restarts": int,
+    "quarantined": bool,
+    "queue_depth": int,
+    "sessions": int,
+}
+
+
+def validate_top_status(doc) -> List[str]:
+    """Structural validation of a ``repro/top-status/v1`` document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top status must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != TOP_SCHEMA:
+        problems.append(f"schema must be {TOP_SCHEMA!r}, got {doc.get('schema')!r}")
+    for path, kind in _REQUIRED.items():
+        node = doc
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                problems.append(f"missing key {'.'.join(path)}")
+                node = None
+                break
+            node = node[key]
+        if node is None or kind is None:
+            continue
+        if kind is int and isinstance(node, bool):
+            problems.append(f"{'.'.join(path)} must be int, got bool")
+        elif not isinstance(node, kind):
+            problems.append(
+                f"{'.'.join(path)} must be {kind.__name__}, "
+                f"got {type(node).__name__}"
+            )
+    for i, shard in enumerate(doc.get("shards") or []):
+        if not isinstance(shard, dict):
+            problems.append(f"shards[{i}] must be an object")
+            continue
+        for key, kind in _SHARD_KEYS.items():
+            if key not in shard:
+                problems.append(f"shards[{i}] missing {key!r}")
+            elif kind is int and isinstance(shard[key], bool):
+                problems.append(f"shards[{i}].{key} must be int, got bool")
+            elif not isinstance(shard[key], kind) and not (
+                kind is bool and isinstance(shard[key], bool)
+            ):
+                problems.append(
+                    f"shards[{i}].{key} must be {kind.__name__}, "
+                    f"got {type(shard[key]).__name__}"
+                )
+    return problems
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:,.0f}/s"
+
+
+def _fmt_us(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}s"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}ms"
+    return f"{value:.0f}us"
+
+
+def render_top(status: Mapping) -> str:
+    """One dashboard frame as plain terminal text."""
+    lines: List[str] = []
+    sess = status["sessions"]
+    ev = status["events"]
+    ch = status["chunks"]
+    races = status["races"]
+    bp = status["backpressure"]
+    lines.append(
+        f"repro top — {status['address']}  "
+        f"[{status['server']['shard_mode']} x{status['server']['shards']}]"
+    )
+    lines.append(
+        f"sessions {sess['total']} "
+        f"(attached {sess['attached']}, detached {sess['detached']}, "
+        f"closed {sess['closed']})   "
+        f"events {ev['total']:,} @ {_fmt_rate(ev['per_sec'])}   "
+        f"chunks {ch['total']:,} @ {_fmt_rate(ch['per_sec'])}"
+    )
+    lines.append(
+        f"races {races['dynamic']} dynamic / {races['distinct']} distinct   "
+        f"worker restarts {status['server']['worker_restarts']}"
+    )
+    lines.append("")
+    lines.append("shard  up  restarts  quar  queue  sessions")
+    for shard in status["shards"]:
+        lines.append(
+            f"{shard['shard']:>5}  {'ok' if shard['up'] else 'DOWN':<3} "
+            f"{shard['restarts']:>8}  {'YES' if shard['quarantined'] else 'no':>4} "
+            f"{shard['queue_depth']:>5}  {shard['sessions']:>8}"
+        )
+    lines.append("")
+    lines.append(
+        f"backpressure: rx high {bp['rx_buffer_high']:,}B   "
+        f"credit stalls {bp['credit_stalls']} "
+        f"(mean {_fmt_us(bp['credit_stall_us_mean'])})   "
+        f"chunk lag mean {_fmt_us(bp['chunk_lag_us_mean'])}   "
+        f"dup chunks {bp['duplicate_chunks']}"
+    )
+    errs = status["protocol_errors"]
+    if errs["total"]:
+        by = ", ".join(f"{k}={v}" for k, v in errs["by_code"].items())
+        lines.append(f"protocol errors: {errs['total']} ({by})")
+    else:
+        lines.append("protocol errors: none")
+    return "\n".join(lines) + "\n"

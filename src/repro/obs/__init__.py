@@ -34,6 +34,8 @@ from .perfetto import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from .prom import render_prometheus
+from .tracing import SpanRecorder, assemble_service_trace, chunk_flow_id
 from .provenance import FlightRecorder, SyncIndex, SyncIndexBuilder, extract_witness
 from .reports import (
     REPORT_SCHEMA,
@@ -54,9 +56,13 @@ __all__ = [
     "MetricsRegistry",
     "REPORT_SCHEMA",
     "RunObserver",
+    "SpanRecorder",
     "SyncIndex",
     "SyncIndexBuilder",
+    "assemble_service_trace",
     "build_report",
+    "chunk_flow_id",
+    "render_prometheus",
     "chrome_trace",
     "extract_witness",
     "matrix_trace_events",

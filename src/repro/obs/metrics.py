@@ -71,6 +71,20 @@ class Gauge:
         if value > self.high:
             self.high = value
 
+    def set_max(self, value: int) -> bool:
+        """High-watermark update: only ever raises, returns True on raise.
+
+        For hot paths that track a peak (receive-buffer depth, queue
+        length): callers can branch on the result instead of writing the
+        gauge on every sample.
+        """
+        if value > self.value:
+            self.value = value
+            if value > self.high:
+                self.high = value
+            return True
+        return False
+
 
 class Histogram:
     """Fixed-bucket histogram: ``buckets`` are inclusive upper bounds.

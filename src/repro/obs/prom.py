@@ -1,0 +1,127 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The registry already names series in the Prometheus convention
+(``name{k=v,...}``, sorted label keys — see
+:func:`~repro.obs.metrics.series_key`); this module renders a snapshot
+into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so the
+telemetry server can serve a ``/metrics`` scrape endpoint without any
+client library:
+
+* counters render as ``# TYPE <name> counter`` plus one sample per
+  labeled series;
+* gauges render their current ``value``; the tracked peak rides along as
+  a second metric ``<name>_high`` (a gauge's high-watermark is exactly
+  the question merged snapshots answer, so scrapes get it too);
+* fixed-bucket histograms render cumulative ``<name>_bucket{le=...}``
+  samples (the registry stores per-bucket counts; Prometheus wants
+  cumulative counts-at-or-below) plus the mandatory ``le="+Inf"``,
+  ``_sum``, and ``_count`` samples.
+
+Rendering is deterministic: series are emitted in sorted-key order,
+matching the snapshot's own ordering, so two scrapes of identical state
+are byte-identical.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["parse_series_key", "render_prometheus"]
+
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+_NAME_SAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def parse_series_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry series key back into ``(name, labels)``.
+
+    Inverse of :func:`~repro.obs.metrics.series_key` for the label
+    alphabet the repo actually uses (no ``,`` or ``=`` inside values).
+    """
+    m = _KEY_RE.match(key)
+    if m is None:  # pragma: no cover - the regex accepts any string
+        return key, {}
+    name = m.group("name")
+    labels: Dict[str, str] = {}
+    raw = m.group("labels")
+    if raw:
+        for part in raw.split(","):
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _sample(name: str, labels: Mapping[str, str], value) -> str:
+    name = _NAME_SAFE.sub("_", name)
+    if labels:
+        inner = ",".join(
+            f'{k}="{_escape_label_value(str(labels[k]))}"' for k in sorted(labels)
+        )
+        return f"{name}{{{inner}}} {value}"
+    return f"{name} {value}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as exposition text.
+
+    Returns the full scrape body, newline-terminated.  ``# TYPE`` lines
+    are emitted once per metric family, immediately before its first
+    sample.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def emit_type(name: str, kind: str) -> None:
+        safe = _NAME_SAFE.sub("_", name)
+        if safe not in typed:
+            typed.add(safe)
+            lines.append(f"# TYPE {safe} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = parse_series_key(key)
+        emit_type(name, "counter")
+        lines.append(_sample(name, labels, _format_value(value)))
+
+    gauges = snapshot.get("gauges", {})
+    for key, g in gauges.items():
+        name, labels = parse_series_key(key)
+        emit_type(name, "gauge")
+        lines.append(_sample(name, labels, _format_value(g["value"])))
+    for key, g in gauges.items():  # second family: the tracked peaks
+        name, labels = parse_series_key(key)
+        high_name = f"{name}_high"
+        emit_type(high_name, "gauge")
+        lines.append(_sample(high_name, labels, _format_value(g["high"])))
+
+    for key, h in snapshot.get("histograms", {}).items():
+        name, labels = parse_series_key(key)
+        emit_type(name, "histogram")
+        cumulative = 0
+        counts = h["counts"]
+        for bound, count in zip(h["buckets"], counts):
+            cumulative += count
+            lines.append(
+                _sample(f"{name}_bucket", dict(labels, le=str(bound)), cumulative)
+            )
+        # overflow bucket folds into +Inf; +Inf must equal _count
+        lines.append(
+            _sample(f"{name}_bucket", dict(labels, le="+Inf"), h["count"])
+        )
+        lines.append(_sample(f"{name}_sum", labels, _format_value(h["total"])))
+        lines.append(_sample(f"{name}_count", labels, _format_value(h["count"])))
+
+    return "\n".join(lines) + "\n" if lines else ""

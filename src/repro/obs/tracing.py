@@ -1,0 +1,251 @@
+"""Wire-propagated tracing for the telemetry service (``repro.net``).
+
+The offline exporter (:mod:`repro.obs.perfetto`) renders one detector
+run in *virtual* time.  The service needs the other half of the story:
+where *wall-clock* time goes while events cross a socket, wait for
+credits, queue behind a shard, and fold into the merged status document.
+This module provides the pieces:
+
+* :class:`SpanRecorder` — a bounded, thread-safe buffer of Chrome
+  trace-event dicts stamped with ``time.monotonic_ns()``.  On Linux
+  ``CLOCK_MONOTONIC`` is system-wide, so spans recorded in the client
+  process, the server front tier, and the forked shard workers are
+  directly comparable; :func:`assemble_service_trace` merges them into
+  one document and re-bases every timestamp onto the earliest span so
+  the trace starts at ``ts=0``.
+* A fixed service process-id layout (``PID_FRONT``, ``PID_MERGE``,
+  ``PID_SHARD_BASE + shard``, ``PID_CLIENT_BASE + trace_id``) that keeps
+  clear of the offline exporter's pids 1-3 so a service trace and a
+  detector trace could share a file without colliding.
+* :func:`chunk_flow_id` — the deterministic flow-arrow id for one chunk
+  of one session, used by the client's ``chunk-sent`` ``s`` event and
+  the shard worker's ``chunk-applied`` ``f`` event.  The assembled trace
+  drops unpaired flow halves (recorder caps can orphan one side) so the
+  structural validator always passes.
+
+Recording costs one monotonic read and one list append per span; when no
+recorder is attached the call sites guard on ``recorder is None`` with a
+single branch, preserving the ``--obs-gate`` budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .perfetto import meta_event
+
+__all__ = [
+    "PID_CLIENT_BASE",
+    "PID_FRONT",
+    "PID_MERGE",
+    "PID_SHARD_BASE",
+    "SpanRecorder",
+    "assemble_service_trace",
+    "chunk_flow_id",
+    "now_us",
+]
+
+#: service process-id layout (offline exporter owns pids 1-3)
+PID_FRONT = 11
+PID_MERGE = 12
+PID_SHARD_BASE = 20
+PID_CLIENT_BASE = 100
+
+#: default cap on buffered spans per recorder; beyond it spans are
+#: counted in ``dropped`` instead of stored, so a long-lived server
+#: cannot grow without bound and a SPANS/REPORT frame stays well under
+#: the 1 MiB frame ceiling
+DEFAULT_MAX_SPANS = 2000
+
+
+def now_us() -> int:
+    """Monotonic wall-clock microseconds (system-wide on Linux)."""
+    return time.monotonic_ns() // 1000
+
+
+def chunk_flow_id(trace_id: int, seq: int) -> int:
+    """Deterministic flow id binding chunk-sent to chunk-applied.
+
+    Sessions get distinct ``trace_id`` values at handshake, so the pair
+    ``(trace_id, seq)`` is unique across the whole service trace.
+    """
+    return (trace_id << 24) | (seq & 0xFFFFFF)
+
+
+class SpanRecorder:
+    """Bounded thread-safe collector of Chrome trace events.
+
+    Every emitting helper timestamps with :func:`now_us` and appends a
+    plain trace-event dict; :meth:`drain` hands the buffer over (with a
+    ``dropped`` count) for shipping in a SPANS frame or folding into
+    :func:`assemble_service_trace`.
+    """
+
+    __slots__ = ("pid", "max_spans", "dropped", "_events", "_lock")
+
+    def __init__(self, pid: int, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self.pid = pid
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._events: List[Dict] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def _append(self, event: Dict) -> None:
+        with self._lock:
+            if len(self._events) >= self.max_spans:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    # -- emitters ----------------------------------------------------------
+
+    def begin(self) -> int:
+        """Start-of-span timestamp; pass to :meth:`span` when done."""
+        return now_us()
+
+    def span(
+        self,
+        name: str,
+        start_us: int,
+        tid: int = 0,
+        cat: str = "service",
+        args: Optional[Mapping] = None,
+        flow: Optional[int] = None,
+        flow_in: Optional[int] = None,
+    ) -> int:
+        """Record a complete ``X`` span from ``start_us`` to now.
+
+        ``flow`` additionally emits an ``s`` (flow start) event at the
+        span start; ``flow_in`` emits an ``f`` (flow finish, ``bp: "e"``)
+        binding an incoming arrow to this span.  Returns the wall-clock
+        duration in microseconds (callers feed it to histograms).
+        """
+        end = now_us()
+        dur = max(end - start_us, 0)
+        event = {
+            "ph": "X",
+            "name": name,
+            "cat": cat,
+            "ts": start_us,
+            "dur": max(dur, 1),
+            "pid": self.pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self._append(event)
+        if flow is not None:
+            self._append(
+                {"ph": "s", "name": name, "cat": cat, "id": flow,
+                 "ts": start_us, "pid": self.pid, "tid": tid}
+            )
+        if flow_in is not None:
+            self._append(
+                {"ph": "f", "name": name, "cat": cat, "id": flow_in,
+                 "ts": start_us, "pid": self.pid, "tid": tid, "bp": "e"}
+            )
+        return dur
+
+    def thread_name(self, tid: int, name: str) -> None:
+        """Record an ``M`` thread-name event for track ``tid``."""
+        self._append(
+            {"ph": "M", "name": "thread_name", "pid": self.pid, "tid": tid,
+             "ts": 0, "args": {"name": name}}
+        )
+
+    def instant(
+        self, name: str, tid: int = 0, args: Optional[Mapping] = None
+    ) -> None:
+        event = {
+            "ph": "i",
+            "name": name,
+            "cat": "service",
+            "ts": now_us(),
+            "pid": self.pid,
+            "tid": tid,
+            "s": "t",
+        }
+        if args:
+            event["args"] = dict(args)
+        self._append(event)
+
+    # -- extraction --------------------------------------------------------
+
+    def drain(self) -> List[Dict]:
+        """Remove and return every buffered event (dropped count stays)."""
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def snapshot(self) -> List[Dict]:
+        """Copy of the buffered events without draining them."""
+        with self._lock:
+            return [dict(ev) for ev in self._events]
+
+
+def _drop_orphan_flows(events: List[Dict]) -> List[Dict]:
+    """Remove s/f events whose partner is missing (capped recorders)."""
+    starts = {ev["id"] for ev in events if ev.get("ph") == "s"}
+    ends = {ev["id"] for ev in events if ev.get("ph") == "f"}
+    paired = starts & ends
+    return [
+        ev for ev in events
+        if ev.get("ph") not in ("s", "f") or ev["id"] in paired
+    ]
+
+
+def assemble_service_trace(
+    groups: Iterable[Mapping],
+    extra_metadata: Optional[Iterable[Dict]] = None,
+) -> Dict:
+    """Merge per-process span batches into one Perfetto document.
+
+    ``groups`` is an iterable of ``{"pid": int, "name": str,
+    "events": [trace-event, ...], "dropped": int}`` — one per process
+    that recorded spans (front tier, merge tier, each shard worker, each
+    client).  Timestamps are re-based so the earliest span in any group
+    lands at ``ts=0`` (monotonic clocks share an epoch per boot, not a
+    meaningful zero), unpaired flow arrows are dropped, and ``M``
+    process-name records are synthesized per group.
+
+    Returns the JSON-object-format envelope (``{"traceEvents": ...}``)
+    ready for :func:`~repro.obs.perfetto.write_chrome_trace` /
+    :func:`~repro.obs.perfetto.validate_chrome_trace`.
+    """
+    groups = list(groups)
+    merged: List[Dict] = []
+    metadata: List[Dict] = []
+    total_dropped = 0
+    for group in groups:
+        metadata.append(
+            meta_event("process_name", str(group["name"]), int(group["pid"]))
+        )
+        total_dropped += int(group.get("dropped", 0))
+        # copy: callers keep their buffers, and re-assembling the same
+        # groups later must not see already-rebased timestamps
+        merged.extend(dict(ev) for ev in group.get("events", ()))
+    if extra_metadata:
+        metadata.extend(extra_metadata)
+    epoch = min(
+        (ev["ts"] for ev in merged if "ts" in ev and ev.get("ph") != "M"),
+        default=0,
+    )
+    for ev in merged:
+        if "ts" in ev and ev.get("ph") != "M":
+            ev["ts"] = max(int(ev["ts"]) - epoch, 0)
+    merged = _drop_orphan_flows(merged)
+    merged.sort(key=lambda ev: (ev.get("ts", 0), ev.get("pid", 0), ev.get("tid", 0)))
+    doc = {
+        "traceEvents": metadata + merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro/service-trace/v1",
+            "spans_dropped": total_dropped,
+        },
+    }
+    return doc

@@ -55,6 +55,7 @@ from repro.net.protocol import (
     Report,
     SessionStateError,
     Sites,
+    Spans,
     UnknownFrameType,
     chunk_events,
     decode_all,
@@ -148,6 +149,22 @@ messages = st.one_of(
             st.text(max_size=30),
             max_size=10,
         ),
+    ),
+    st.builds(
+        Spans,
+        pid=st.integers(min_value=0, max_value=2**16),
+        name=session_names,
+        events=st.lists(
+            st.fixed_dictionaries(
+                {
+                    "name": st.text(max_size=12),
+                    "ph": st.sampled_from(["X", "i", "M"]),
+                    "ts": st.integers(min_value=0, max_value=2**48),
+                }
+            ),
+            max_size=8,
+        ).map(tuple),
+        dropped=st.integers(min_value=0, max_value=2**20),
     ),
 )
 
