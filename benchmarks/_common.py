@@ -13,6 +13,7 @@ import random
 from functools import lru_cache
 from typing import Dict, List, Tuple
 
+from repro import bench
 from repro.analysis import DetectionExperiment
 from repro.analysis.parallel import TrialTask, default_jobs, run_matrix
 from repro.core.pacer import PacerDetector
@@ -70,15 +71,9 @@ def accuracy_trials(rate: float) -> int:
     return scaled_trials(base, minimum=4)
 
 
-@lru_cache(maxsize=None)
-def recorded_trace(name: str, trial_seed: int = 0, size: float = 0.7) -> tuple:
-    """A fixed recorded trace of one workload (for replay timing)."""
-    spec = WORKLOADS[name].scaled(size)
-    events: List = []
-    scheduler = Scheduler(build_program(spec, trial_seed), seed=trial_seed,
-                          sink=events.append)
-    scheduler.run()
-    return tuple(events)
+# the trace recorder lives in repro.bench now (shared with ``repro
+# bench``); re-exported here so every benchmark module keeps one import
+recorded_trace = bench.recorded_trace
 
 
 def pacer_with_rate(rate: float, seed: int = 0) -> Tuple[PacerDetector, BiasCorrectedController]:
@@ -101,38 +96,8 @@ def run_workload(name: str, detector, controller=None, trial_seed: int = 0,
     return runtime
 
 
-def write_bench_json(path, doc: Dict) -> None:
-    """Write one benchmark's machine-readable results (CI artifact).
-
-    Stable formatting (sorted keys, trailing newline) so committed
-    evidence files diff cleanly between runs.  Each write also appends a
-    timestamped copy to ``BENCH_history.jsonl`` next to ``path`` — one
-    JSON object per line — so regressions can be traced across runs
-    without digging through CI artifact archives.
-    """
-    import json
-
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {path}")
-    append_bench_history(path, doc)
-
-
-def append_bench_history(path, doc: Dict) -> None:
-    """Append ``doc`` (timestamped) to the sibling ``BENCH_history.jsonl``."""
-    import json
-    import time
-    from pathlib import Path
-
-    entry = {
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        **doc,
-    }
-    history = Path(path).resolve().parent / "BENCH_history.jsonl"
-    with open(history, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(entry, sort_keys=True) + "\n")
-    print(f"appended {history.name}")
+write_bench_json = bench.write_bench_json
+append_bench_history = bench.append_bench_history
 
 
 def print_banner(title: str) -> None:
@@ -142,36 +107,4 @@ def print_banner(title: str) -> None:
     print("=" * 72)
 
 
-def marked_trace(name: str, rate: float, period: int = 400,
-                 trial_seed: int = 0, size: float = 0.7) -> list:
-    """A recorded trace with sampling-period markers inserted.
-
-    Splits the trace into fixed-size periods and marks a deterministic
-    fraction ``rate`` of them as sampling periods (spread evenly), so
-    replay benchmarks measure PACER at an exact effective rate.
-    """
-    from repro.trace.events import sbegin, send
-
-    base = recorded_trace(name, trial_seed, size)
-    n_periods = max(1, (len(base) + period - 1) // period)
-    sampled = set()
-    if rate >= 1.0:
-        sampled = set(range(n_periods))
-    elif rate > 0:
-        want = max(1, round(rate * n_periods))
-        step = n_periods / want
-        sampled = {int(i * step) for i in range(want)}
-    events = []
-    sampling = False
-    for i in range(n_periods):
-        should = i in sampled
-        if should and not sampling:
-            events.append(sbegin())
-            sampling = True
-        elif not should and sampling:
-            events.append(send())
-            sampling = False
-        events.extend(base[i * period:(i + 1) * period])
-    if sampling:
-        events.append(send())
-    return events
+marked_trace = bench.marked_trace

@@ -5,8 +5,9 @@ Commands:
 * ``workloads`` — list the bundled synthetic benchmarks.
 * ``record``    — run a workload and write its trace to a file.
 * ``analyze``   — run a detector over a trace file and report races
-  (``--batch`` uses the columnar batched fast path; both print
-  events/sec and ns/event from the detector's perf counters).
+  (``--batch`` uses the columnar batched fast path — binary traces are
+  then mmap-decoded straight into columns; both modes print events/sec
+  and ns/event from the detector's perf counters).
 * ``oracle``    — exact happens-before ground truth for a trace file.
 * ``explain``   — replay a trace (or a seeded workload) with a flight
   recorder attached and explain every distinct race: happens-before
@@ -100,7 +101,13 @@ from .sim.runtime import Runtime, RuntimeConfig
 from .sim.scheduler import run_program
 from .sim.workloads import WORKLOADS, build_program, describe_site
 from .trace.batch import DEFAULT_BATCH_SIZE
-from .trace.binio import MAGIC, describe_binary, dump_trace_binary, load_trace_binary
+from .trace.binio import (
+    MAGIC,
+    describe_binary,
+    dump_trace_binary,
+    load_trace_binary,
+    load_trace_columns,
+)
 from .trace.oracle import HBOracle
 from .trace.textio import dump_trace, load_trace
 from .trace.trace import Trace, TraceError, TraceFormatError
@@ -327,13 +334,26 @@ def cmd_record(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    trace = _load(Path(args.trace), args.format)
+    path = Path(args.trace)
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "binary" if path.read_bytes()[:4] == MAGIC else "text"
+    trace = None
+    columns = None
+    if args.batch and fmt == "binary" and not args.report_out:
+        # zero-copy fast path: mmap the file and decode the wire format
+        # straight into EventBatch columns (report witnesses need the
+        # in-memory sync index, so --report-out takes the scalar load)
+        columns = load_trace_columns(path)
+    else:
+        trace = _load(path, fmt)
     detector = DETECTORS[args.detector](backend=args.state_backend)
     obs = _make_observer(args)
     if obs is not None:
         obs.attach(detector)
     if args.batch:
-        detector.run_batch(trace, batch_size=args.batch_size)
+        detector.run_batch(columns if columns is not None else trace,
+                           batch_size=args.batch_size)
     else:
         detector.run(trace)
     if obs is not None:
@@ -1048,6 +1068,24 @@ def cmd_top(args) -> int:
         return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the core-operations benchmark (``repro bench``).
+
+    Replays the benchmark workload through every available state
+    backend, writes ``BENCH_core.json``, and appends the timestamped
+    result to ``BENCH_history.jsonl`` next to it.
+    """
+    from .bench import check_gates, emit_json
+
+    code = emit_json(
+        args.out, size=args.size, repeats=args.repeats,
+        gate_size=args.gate_size, gate_rounds=args.gate_rounds,
+    )
+    if code == 0 and args.check:
+        code = check_gates(args.out)
+    return code
+
+
 # -- parser ---------------------------------------------------------------------
 
 
@@ -1376,6 +1414,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit repro/top-status/v1 JSON instead of the dashboard",
     )
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the core-operations benchmark and write BENCH_core.json",
+    )
+    p.add_argument("--out", default="BENCH_core.json",
+                   help="output path (history appends next to it)")
+    p.add_argument("--size", type=float, default=0.7,
+                   help="workload size multiplier for the per-backend rows")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of-N repeats for the per-backend rows")
+    p.add_argument("--gate-size", type=float, default=1.0,
+                   help="workload size for the interleaved speedup gates")
+    p.add_argument("--gate-rounds", type=int, default=5,
+                   help="interleaved baseline/contender round count")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero if any speedup gate misses its target")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

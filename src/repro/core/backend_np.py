@@ -1,0 +1,930 @@
+"""The ``packed-np`` state backend: NumPy arenas + column-first kernels.
+
+This module carries the vectorized half of the engine seam.  The
+:class:`NumpyVarStore` is a drop-in for
+:class:`~repro.core.backend.PackedVarStore` — identical slot ids,
+allocation order, LIFO free-list reuse, read-map side table, and
+``words()`` accounting — with the integer fields held in ``int64`` NumPy
+arrays so whole :class:`~repro.trace.batch.EventBatch` columns can be
+resolved against it in a handful of array operations.
+
+The kernels implement the column-first contract (DESIGN.md):
+
+* a **vectorized fast-path filter** classifies every event of a batch
+  window from columns alone — no per-event Python — deciding which
+  events provably follow the epoch fast paths of Algorithms 7/8 (same
+  thread, ordered prior epochs, FASTTRACK) or never touch live metadata
+  (PACER's non-sampling period, Algorithms 12/13 first line);
+* surviving events run through the **exact scalar slow path**
+  (:func:`~repro.core.engine.fasttrack_access_packed`,
+  :func:`~repro.core.engine.pacer_access_packed`) in trace order,
+  interleaved with every synchronization action, so races, counters,
+  footprint words, and report bytes match the other backends exactly.
+
+The FASTTRACK kernel additionally *applies* the fast events in bulk: a
+per-variable group whose accesses are all by one thread at one clock
+value (with prior epochs owned-and-ordered by that thread) reduces to at
+most three representative updates — first read before the first
+effective write, that write, and the first read after it — scattered
+into the arena with array writes.  Thread clock values for the
+classification are derived arithmetically (release/fork/volatile-write
+increments counted per thread), never by running the handlers early, so
+the slow path always sees live clocks.
+
+NumPy is an optional extra: importing this module without numpy leaves
+``HAVE_NUMPY`` false and constructing the store raises, while
+``repro.core.backend.BACKENDS`` hides ``packed-np`` entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+try:  # optional extra: install repro[np]
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via BACKENDS gating
+    np = None
+
+from ..detectors.base import Race, READ_WRITE, WRITE_READ, WRITE_WRITE
+from .backend import READ_SHARED
+from .clocks import ReadMap, TID_BITS, TID_MASK, VectorClock, unpack_epoch
+from .engine import pacer_access_packed
+from .metadata import VarState
+
+__all__ = [
+    "HAVE_NUMPY",
+    "NumpyVarStore",
+    "fasttrack_kernel_np",
+    "pacer_kernel_np",
+]
+
+HAVE_NUMPY = np is not None
+
+#: dense var -> slot lookup is kept for vars below this bound (16 MiB of
+#: int32 at the cap); vars above it (or negative) fall back to the dict
+_LOOKUP_LIMIT = 1 << 22
+
+#: events per vectorized window.  Windows bound the planning horizon for
+#: reused thread ids (a fork reassigning an existing clock forces that
+#: tid slow) while amortizing array-op setup; single-thread group
+#: coverage is nearly flat in the window size, so bigger is better.
+_WINDOW = 1 << 16
+
+#: sentinel position "no such event" for the reduceat group minima
+_BIG = 1 << 62
+
+if HAVE_NUMPY:
+    # one-gather kind classifiers (kind ids are 0..12; see trace.batch)
+    _SYNC_TABLE = np.zeros(16, dtype=bool)
+    _SYNC_TABLE[2:10] = True  # acq rel fork join vol_rd vol_wr sbegin send
+    _INCR_TABLE = np.zeros(16, dtype=bool)
+    _INCR_TABLE[[3, 4, 5, 7]] = True  # release fork join vol_wr
+    _JOIN_TABLE = np.zeros(16, dtype=bool)
+    _JOIN_TABLE[5] = True
+
+
+class NumpyVarStore:
+    """Arena of per-variable metadata as parallel NumPy arrays.
+
+    Field-for-field the packed layout (see
+    :class:`~repro.core.backend.PackedVarStore`): ``wep``/``rep`` hold
+    packed epochs (``0`` = ⊥e, :data:`READ_SHARED` = inflated map in
+    :attr:`rshared`), ``windex``/``rindex`` event indices, and
+    ``wsite``/``rsite`` are *object* arrays because sites may be
+    ``file:line`` strings (:data:`~repro.detectors.base.SiteId`).  The
+    arrays are capacity-doubled with ``_n`` live slots; ``words()`` and
+    ``view()`` run over live slots only, so arena capacity — including
+    allocated-but-free slots — never inflates footprint accounting.
+
+    Beyond the packed surface it adds what the column kernels need:
+    :meth:`alloc_many` (bulk allocation in first-access order, so slot
+    ids match event-at-a-time allocation) and :attr:`lookup`, a dense
+    ``var -> slot + 1`` int32 map (``0`` = untracked) for whole-column
+    variable resolution; the :attr:`index` dict stays authoritative.
+    """
+
+    __slots__ = (
+        "index", "free",
+        "wep", "wsite", "windex",
+        "rep", "rsite", "rindex",
+        "rshared", "lookup", "_n",
+    )
+
+    def __init__(self) -> None:
+        if np is None:
+            raise ImportError(
+                "the packed-np state backend requires numpy "
+                "(install the [np] extra)"
+            )
+        self.index: Dict[int, int] = {}
+        self.free: List[int] = []
+        cap = 1024
+        self.wep = np.zeros(cap, dtype=np.int64)
+        self.wsite = np.zeros(cap, dtype=object)
+        self.windex = np.zeros(cap, dtype=np.int64)
+        self.rep = np.zeros(cap, dtype=np.int64)
+        self.rsite = np.zeros(cap, dtype=object)
+        self.rindex = np.zeros(cap, dtype=np.int64)
+        self.rshared: Dict[int, Dict[int, Tuple[int, int, int]]] = {}
+        self.lookup = np.zeros(1024, dtype=np.int32)
+        self._n = 0
+
+    def _grow_slots(self) -> None:
+        for name, dtype in (
+            ("wep", np.int64), ("windex", np.int64),
+            ("rep", np.int64), ("rindex", np.int64),
+            ("wsite", object), ("rsite", object),
+        ):
+            arr = getattr(self, name)
+            new = np.zeros(len(arr) * 2, dtype=dtype)
+            new[: len(arr)] = arr
+            setattr(self, name, new)
+
+    def _grow_lookup(self, var: int) -> None:
+        size = len(self.lookup)
+        while size <= var:
+            size *= 2
+        size = min(size, _LOOKUP_LIMIT)
+        new = np.zeros(size, dtype=np.int32)
+        new[: len(self.lookup)] = self.lookup
+        self.lookup = new
+
+    def alloc(self, var: int) -> int:
+        """Claim a slot for ``var`` (reusing the free list), return it."""
+        free = self.free
+        if free:
+            slot = free.pop()
+        else:
+            slot = self._n
+            if slot == len(self.wep):
+                self._grow_slots()
+            self._n = slot + 1
+        self.wep[slot] = 0
+        self.wsite[slot] = 0
+        self.windex[slot] = -1
+        self.rep[slot] = 0
+        self.rsite[slot] = 0
+        self.rindex[slot] = -1
+        self.index[var] = slot
+        if 0 <= var < _LOOKUP_LIMIT:
+            if var >= len(self.lookup):
+                self._grow_lookup(var)
+            self.lookup[var] = slot + 1
+        return slot
+
+    def alloc_many(self, new_vars) -> None:
+        """Allocate slots for ``new_vars`` in the given order.
+
+        The kernels pass new variables in first-access order, which
+        makes bulk allocation produce the same slot ids the scalar
+        event-at-a-time path would have.  With an empty free list the
+        slots are a fresh contiguous range, so the field resets and the
+        lookup update collapse to sliced array writes.
+        """
+        k = len(new_vars)
+        if self.free or k < 8:
+            alloc = self.alloc
+            for var in new_vars:
+                alloc(var)
+            return
+        lo = self._n
+        hi = lo + k
+        while hi > len(self.wep):
+            self._grow_slots()
+        self._n = hi
+        self.wep[lo:hi] = 0
+        self.wsite[lo:hi] = 0
+        self.windex[lo:hi] = -1
+        self.rep[lo:hi] = 0
+        self.rsite[lo:hi] = 0
+        self.rindex[lo:hi] = -1
+        slots = range(lo, hi)
+        self.index.update(zip(new_vars, slots))
+        vars_arr = np.asarray(new_vars, dtype=np.int64)
+        in_range = (vars_arr >= 0) & (vars_arr < _LOOKUP_LIMIT)
+        if in_range.all():
+            vmax = int(vars_arr.max()) if k else 0
+            if vmax >= len(self.lookup):
+                self._grow_lookup(vmax)
+            self.lookup[vars_arr] = np.arange(lo + 1, hi + 1, dtype=np.int32)
+        else:
+            for var, slot in zip(new_vars, slots):
+                if 0 <= var < _LOOKUP_LIMIT:
+                    if var >= len(self.lookup):
+                        self._grow_lookup(var)
+                    self.lookup[var] = slot + 1
+
+    def release(self, var: int, slot: int) -> None:
+        """Return ``var``'s slot to the free list (PACER metadata discard)."""
+        del self.index[var]
+        self.rshared.pop(slot, None)
+        self.free.append(slot)
+        if 0 <= var < len(self.lookup):
+            self.lookup[var] = 0
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # -- object-backend-compatible views ---------------------------------
+
+    def view(self, var: int) -> Optional[VarState]:
+        """Reconstruct ``var``'s state as a :class:`VarState`, or ``None``.
+
+        For introspection and tests only — mutating the returned object
+        does not write back to the arena.  Array scalars are cast to
+        plain ints so views compare equal across backends.
+        """
+        slot = self.index.get(var)
+        if slot is None:
+            return None
+        state = VarState()
+        w = int(self.wep[slot])
+        if w:
+            state.write = unpack_epoch(w)
+            state.write_site = self.wsite[slot]
+            state.write_index = int(self.windex[slot])
+        r = int(self.rep[slot])
+        if r == READ_SHARED:
+            entries = iter(self.rshared[slot].items())
+            tid, (clock, site, idx) = next(entries)
+            rm = ReadMap(tid, clock, site, idx)
+            for tid, (clock, site, idx) in entries:
+                rm.record(tid, clock, site, idx)
+            state.read = rm
+        elif r:
+            e = unpack_epoch(r)
+            state.read = ReadMap(e.tid, e.clock, self.rsite[slot],
+                                 int(self.rindex[slot]))
+        return state
+
+    def words(self) -> int:
+        """Footprint in words over *live* slots only.
+
+        Matches ``VarState.words()`` per variable; free (released) slots
+        and unallocated arena capacity contribute nothing, keeping the
+        Figure-10 space curves byte-equal across backends.
+        """
+        if not self.index:
+            return 0
+        slots = np.fromiter(self.index.values(), dtype=np.int64,
+                            count=len(self.index))
+        total = (
+            2 * len(slots)
+            + 2 * int(np.count_nonzero(self.wep[slots]))
+            + 2 * int(np.count_nonzero(self.rep[slots]))
+            + 2 * sum(map(len, self.rshared.values()))
+        )
+        return total
+
+
+# -- shared kernel helpers ----------------------------------------------------
+
+
+def _pick_sites(sites_np, sites_list, idx):
+    """Gather sites at ``idx`` (an int array) as a list of plain objects."""
+    if sites_np is not None:
+        return sites_np[idx].tolist()
+    return [sites_list[i] for i in idx.tolist()]
+
+
+def _resolve_slots(arena, vars_arr):
+    """Per-var slot ids (``-1`` = untracked): dense lookup, dict fallback."""
+    lookup = arena.lookup
+    slots = np.full(len(vars_arr), -1, dtype=np.int64)
+    in_range = (vars_arr >= 0) & (vars_arr < len(lookup))
+    iv = np.flatnonzero(in_range)
+    if len(iv):
+        slots[iv] = lookup[vars_arr[iv]].astype(np.int64) - 1
+    rest = np.flatnonzero(~in_range)
+    if len(rest):
+        index_get = arena.index.get
+        for i in rest.tolist():
+            s = index_get(int(vars_arr[i]))
+            if s is not None:
+                slots[i] = s
+    return slots
+
+
+# -- FASTTRACK column kernel --------------------------------------------------
+
+
+def fasttrack_kernel_np(det, kinds, tids, targets, sites_np, sites_list,
+                        seen0):
+    """Algorithms 7/8 over NumPy columns (the ``packed-np`` batch path).
+
+    Column layout mirrors :func:`~repro.core.engine.fasttrack_kernel`;
+    ``sites_np`` is an int64 site column or ``None`` with ``sites_list``
+    carrying arbitrary :data:`SiteId` values instead.  Processing runs
+    in windows of :data:`_WINDOW` events (see :func:`_ft_window`).
+    """
+    n = len(kinds)
+    for start in range(0, n, _WINDOW):
+        stop = min(start + _WINDOW, n)
+        _ft_window(
+            det,
+            kinds[start:stop], tids[start:stop], targets[start:stop],
+            None if sites_np is None else sites_np[start:stop],
+            None if sites_list is None else sites_list[start:stop],
+            seen0 + start,
+        )
+    det._events_seen = seen0 + n
+
+
+def _ft_window(det, kinds, tids, targets, sites_np, sites_list, seen0):
+    """One FASTTRACK window: classify columns, bulk-apply, then slow loop.
+
+    The fast path must *prove*, from columns and window-entry state
+    alone, that an event follows the epoch fast path and produces no
+    race.  Everything else — synchronization actions, period markers,
+    and every unproven access — replays through the exact scalar slow
+    path in trace order with live clocks.
+    """
+    n = len(kinds)
+    arena = det._arena
+    counters = det.counters
+    thread_clock = det._thread_clock
+    pos = np.arange(n, dtype=np.int64)
+    acc = kinds <= 1
+    sync = _SYNC_TABLE[kinds]
+    acc_pos = pos[acc]
+    na = len(acc_pos)
+    if na == 0:
+        loop_pos = pos[sync]
+        if len(loop_pos):
+            _ft_run_slow(det, kinds, tids, targets, sites_np, sites_list,
+                         loop_pos, None, seen0)
+        det._events_seen = seen0 + n
+        return
+    acc_tid = tids[acc]
+    acc_var = targets[acc]
+    acc_wr = kinds[acc] == 1
+
+    # --- clock planning: own components from increment counts ---------
+    # Only four event shapes advance a thread's own clock component:
+    # release / volatile write / fork (the parent) by the thread, and
+    # join incrementing the *child*.  Joins into a thread (acquire,
+    # volatile read, join-parent) never raise its own component as long
+    # as every value it published is <= its current clock — guaranteed
+    # unless a fork reassigned the thread's clock (tid reuse), which the
+    # forced-slow set below rules out of the fast path.
+    is_join = _JOIN_TABLE[kinds]
+    incr = _INCR_TABLE[kinds]
+    incr_pos = pos[incr]
+    incr_tid = np.where(is_join[incr], targets[incr], tids[incr])
+    tid_hi = int(acc_tid.max())
+    tid_lo = int(acc_tid.min())
+    if len(incr_tid):
+        tid_hi = max(tid_hi, int(incr_tid.max()))
+        tid_lo = min(tid_lo, int(incr_tid.min()))
+    if 0 <= tid_lo and tid_hi < 4096:
+        # dense tid space (the overwhelmingly common case): index the
+        # per-thread tables by tid directly, no sorting or remapping
+        nt = tid_hi + 1
+        own0 = np.ones(nt, dtype=np.int64)
+        for t, clock in thread_clock.items():
+            if 0 <= t <= tid_hi:
+                c = clock._c
+                own0[t] = c[t] if t < len(c) else 0
+        u_acc_tid = np.flatnonzero(np.bincount(acc_tid, minlength=nt))
+        acc_col = acc_tid
+        incr_col = incr_tid
+    else:
+        u_acc_tid = np.unique(acc_tid)
+        all_tids = np.union1d(u_acc_tid, incr_tid)
+        nt = len(all_tids)
+        own0 = np.empty(nt, dtype=np.int64)
+        for i, t in enumerate(all_tids.tolist()):
+            clock = thread_clock.get(t)
+            if clock is None:
+                own0[i] = 1  # a fresh clock's own component is 1
+            else:
+                c = clock._c
+                own0[i] = c[t] if t < len(c) else 0
+        acc_col = np.searchsorted(all_tids, acc_tid)
+        incr_col = np.searchsorted(all_tids, incr_tid)
+    if len(incr_pos):
+        z = np.zeros((len(incr_pos) + 1, nt), dtype=np.int64)
+        z[np.arange(1, len(incr_pos) + 1), incr_col] = 1
+        cum = z.cumsum(axis=0)
+        # accesses are never increment events, so the inclusive prefix
+        # count at an access equals the strict one — no binary search
+        j = np.cumsum(incr)[acc]
+        own = own0[acc_col] + cum[j, acc_col]
+    else:
+        own = own0[acc_col]
+
+    # --- forced-slow threads (clock reassignment hazards) --------------
+    # A fork assigns the child's clock to parent.c + increment(child).
+    # For a *fresh* child (no clock, no earlier events) that is exactly
+    # the own0 = 1 the planning assumes — no thread can hold a nonzero
+    # component for a tid that never had a clock.  Only tid *reuse*
+    # breaks the arithmetic: the reassigned clock may drop below values
+    # the old incarnation published, which a later acquire could join
+    # back in.  Such tids are forced onto the slow path permanently.
+    reforked = det._np_reforked
+    fork_idx = np.flatnonzero(kinds == 4)
+    if len(fork_idx):
+        children = [int(c) for c in targets[fork_idx].tolist()]
+        cmax = max(children)
+        if 0 <= min(children) and cmax < (1 << 16):
+            # first position each tid acts at, and first position it is
+            # a fork/join target: a reversed duplicate-index scatter
+            # keeps the earliest position per id — O(n), no sorting.
+            # Ids outside [0, cmax] (e.g. the -1 marker actor) land in a
+            # spill cell that no fork child can alias.
+            size = cmax + 2
+            spill = size - 1
+            at = np.where((tids >= 0) & (tids <= cmax), tids, spill)
+            first_act = np.full(size, n, dtype=np.int64)
+            first_act[at[::-1]] = pos[::-1]
+            tmask = (kinds == 4) | is_join
+            tpos = pos[tmask]
+            tt = targets[tmask]
+            tt = np.where((tt >= 0) & (tt <= cmax), tt, spill)
+            first_tgt = np.full(size, n, dtype=np.int64)
+            first_tgt[tt[::-1]] = tpos[::-1]
+            for fi, child in zip(fork_idx.tolist(), children):
+                if child in reforked:
+                    continue
+                if child in thread_clock or min(
+                        int(first_act[child]), int(first_tgt[child])) < fi:
+                    reforked.add(child)
+        else:
+            # pathological id space: scan per fork (forks are rare)
+            tmask = (kinds == 4) | is_join
+            for fi, child in zip(fork_idx.tolist(), children):
+                if child in reforked:
+                    continue
+                if child in thread_clock or bool(
+                        np.any(tids[:fi] == child)
+                        or np.any((tmask[:fi]) & (targets[:fi] == child))):
+                    reforked.add(child)
+    forced = np.zeros(na, dtype=bool)
+    if reforked:
+        for t in reforked:
+            forced |= acc_tid == t
+
+    # --- per-variable grouping ----------------------------------------
+    # radix argsort: narrower keys mean fewer passes, and var ids almost
+    # always fit int32
+    if int(acc_var.min()) >= 0 and int(acc_var.max()) < (1 << 31):
+        order = np.argsort(acc_var.astype(np.int32), kind="stable")
+    else:
+        order = np.argsort(acc_var, kind="stable")
+    svar = acc_var[order]
+    spos = acc_pos[order]
+    stid = acc_tid[order]
+    sown = own[order]
+    swr = acc_wr[order]
+    sforced = forced[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], svar[1:] != svar[:-1])))
+    counts = np.diff(np.concatenate((starts, [na])))
+    g_var = svar[starts]
+
+    # --- allocate new variables ----------------------------------------
+    g_slot = _resolve_slots(arena, g_var)
+    new_idx = np.flatnonzero(g_slot < 0)
+    if len(new_idx):
+        # slot numbering is unobservable (views, counters and footprint
+        # never expose slot ids), so allocation order is free
+        arena.alloc_many(g_var[new_idx].tolist())
+        counters.words_allocated += 2 * len(new_idx)
+        g_slot = _resolve_slots(arena, g_var)  # arrays may have grown
+    wep, rep = arena.wep, arena.rep
+    w0 = wep[g_slot]
+    r0 = rep[g_slot]
+
+    # --- fast-run classification ----------------------------------------
+    # Each group's *head run* — the longest prefix of accesses by its
+    # first thread t — is fast when the prior epochs are owned by t and
+    # ordered before t's first access, and t's clock planning is
+    # trustworthy (not forced slow).  t's own component never decreases
+    # inside a window, so every head-run access is a same-epoch no-op or
+    # a thread-local epoch advance — provably race-free.  Accesses from
+    # the first thread switch onward replay through the slow path, which
+    # sees exactly the bulk-applied head-run state: all head-run events
+    # precede them in trace order, and syncs never touch var state.
+    gt = stid[starts]
+    ng = len(starts)
+    gid = np.repeat(np.arange(ng, dtype=np.int64), counts)
+    idx_a = np.arange(na, dtype=np.int64)
+    diff = stid != gt[gid]
+    first_bad = np.minimum.reduceat(np.where(diff, idx_a, na), starts)
+    in_head = idx_a < first_bad[gid]
+    o_first = sown[starts]
+    w_ok = (w0 == 0) | (((w0 & TID_MASK) == gt) & ((w0 >> TID_BITS) <= o_first))
+    r_ok = (r0 == 0) | (
+        (r0 != READ_SHARED)
+        & ((r0 & TID_MASK) == gt)
+        & ((r0 >> TID_BITS) <= o_first)
+    )
+    fast_g = w_ok & r_ok & ~sforced[starts]
+    fast_ev_sorted = in_head & fast_g[gid]
+
+    # --- group reduction ------------------------------------------------
+    # Collapse each head run to its net effect.  Writes: a write is
+    # *effective* (allocates words, clears the read slot) iff its epoch
+    # differs from the previous write's (or w0 for the first); the final
+    # write state comes from the last effective write.  Reads: a read
+    # allocates words iff it lands on an empty read slot — r0 == 0 at
+    # the start, or right after an effective write; the final read state
+    # comes from the first read of the last epoch-run among reads
+    # surviving the last effective write.
+    spo = (sown << TID_BITS) | stid
+    srd_fast = ~swr
+    srd_fast &= fast_ev_sorted
+
+    eff_w_per_g = np.zeros(ng, dtype=np.int64)
+    g_few_idx = np.full(ng, -1, dtype=np.int64)  # last effective write
+    few_pos_g = np.full(ng, -1, dtype=np.int64)  # its window position
+    weff_mask = np.zeros(na, dtype=bool)
+    widx = np.flatnonzero(swr & fast_ev_sorted)
+    if len(widx):
+        wgid = gid[widx]
+        wspo = spo[widx]
+        wfirst = np.empty(len(widx), dtype=bool)
+        wfirst[0] = True
+        np.not_equal(wgid[1:], wgid[:-1], out=wfirst[1:])
+        prev_wspo = np.empty(len(widx), dtype=np.int64)
+        prev_wspo[1:] = wspo[:-1]
+        prev_wspo[wfirst] = w0[wgid[wfirst]]
+        weff = wspo != prev_wspo
+        eff_w_per_g += np.bincount(wgid[weff], minlength=ng)
+        weff_mask[widx[weff]] = True
+        eidx = widx[weff]
+        if len(eidx):
+            egid = wgid[weff]
+            elast = np.empty(len(eidx), dtype=bool)
+            elast[-1] = True
+            np.not_equal(egid[1:], egid[:-1], out=elast[:-1])
+            g_few_idx[egid[elast]] = eidx[elast]
+            few_pos_g[egid[elast]] = spos[eidx[elast]]
+    has_w = eff_w_per_g > 0
+
+    plus2_per_g = np.zeros(ng, dtype=np.int64)
+    g_rrep_idx = np.full(ng, -1, dtype=np.int64)
+    has_r_after = np.zeros(ng, dtype=bool)
+    ridx = np.flatnonzero(srd_fast)
+    if len(ridx):
+        # walk reads and effective writes together: a read allocates
+        # (+2 words) iff the previous relevant event was an effective
+        # write, or it opens the group with r0 == 0
+        rel = srd_fast | weff_mask
+        relidx = np.flatnonzero(rel)
+        relgid = gid[relidx]
+        relread = srd_fast[relidx]
+        relfirst = np.empty(len(relidx), dtype=bool)
+        relfirst[0] = True
+        np.not_equal(relgid[1:], relgid[:-1], out=relfirst[1:])
+        prev_is_w = np.empty(len(relidx), dtype=bool)
+        prev_is_w[0] = False
+        np.logical_not(relread[:-1], out=prev_is_w[1:])
+        plus2 = relread & np.where(relfirst, r0[relgid] == 0, prev_is_w)
+        plus2_per_g += np.bincount(relgid[plus2], minlength=ng)
+        # reads surviving the last effective write carry the final state
+        r_after = spos[ridx] > few_pos_g[gid[ridx]]
+        aidx = ridx[r_after]
+        if len(aidx):
+            agid = gid[aidx]
+            has_r_after[agid] = True
+            aspo = spo[aidx]
+            alast = np.empty(len(aidx), dtype=bool)
+            alast[-1] = True
+            np.not_equal(agid[1:], agid[:-1], out=alast[:-1])
+            g_last_rspo = np.zeros(ng, dtype=np.int64)
+            g_last_rspo[agid[alast]] = aspo[alast]
+            # first read of the final epoch-run (same-epoch successors
+            # never update the recorded site/index)
+            m = aspo == g_last_rspo[agid]
+            mfirst = np.empty(len(aidx), dtype=bool)
+            mfirst[0] = True
+            np.logical_or(agid[1:] != agid[:-1], ~m[:-1], out=mfirst[1:])
+            mfirst &= m
+            g_rrep_idx[agid[mfirst]] = aidx[mfirst]
+
+    # --- apply fast groups in bulk -------------------------------------
+    fidx = np.flatnonzero(fast_g)
+    if len(fidx):
+        wsel = fidx[has_w[fidx]]
+        if len(wsel):
+            slots = g_slot[wsel]
+            rep_idx = g_few_idx[wsel]
+            wep[slots] = spo[rep_idx]
+            arena.windex[slots] = seen0 + spos[rep_idx]
+            arena.wsite[slots] = _pick_sites(sites_np, sites_list,
+                                             spos[rep_idx])
+        # skip groups whose reads were all same-epoch with r0: the
+        # scalar path leaves the recorded site/index untouched there
+        rmask = has_r_after[fidx] & ~(
+            ~has_w[fidx]
+            & (spo[np.maximum(g_rrep_idx[fidx], 0)] == r0[fidx])
+        )
+        rsel = fidx[rmask]
+        if len(rsel):
+            slots = g_slot[rsel]
+            rep_idx = g_rrep_idx[rsel]
+            rep[slots] = spo[rep_idx]
+            arena.rindex[slots] = seen0 + spos[rep_idx]
+            arena.rsite[slots] = _pick_sites(sites_np, sites_list,
+                                             spos[rep_idx])
+        csel = fidx[has_w[fidx] & ~has_r_after[fidx]]
+        if len(csel):
+            rep[g_slot[csel]] = 0  # final write cleared the read map
+        counters.words_allocated += 2 * int(
+            eff_w_per_g[fidx].sum() + plus2_per_g[fidx].sum())
+        n_fast = int(np.count_nonzero(fast_ev_sorted))
+        counters.reads_slow_sampling += len(ridx)
+        counters.writes_slow_sampling += n_fast - len(ridx)
+    det._threads.update(u_acc_tid.tolist())
+
+    # --- ordered slow loop ---------------------------------------------
+    loop_pos = np.sort(np.concatenate((spos[~fast_ev_sorted], pos[sync])))
+    if len(loop_pos):
+        # every window var already has a slot, so hand the loop
+        # pre-resolved slots (sync positions carry junk, never read)
+        ev_slot = np.empty(n, dtype=np.int64)
+        ev_slot[spos] = g_slot[gid]
+        _ft_run_slow(det, kinds, tids, targets, sites_np, sites_list,
+                     loop_pos, ev_slot, seen0)
+    # threads whose window events were all fast accesses still need
+    # their clock materialized: the scalar path creates it (+2 words) at
+    # the first access, every slow touch creates the identical fresh
+    # clock through _clock_of, so creating the stragglers afterwards is
+    # observationally the same
+    for t in u_acc_tid.tolist():
+        if t not in thread_clock:
+            clock = VectorClock()
+            clock.increment(t)
+            thread_clock[t] = clock
+            counters.words_allocated += 2
+    det._events_seen = seen0 + n
+
+
+def _ft_run_slow(det, kinds, tids, targets, sites_np, sites_list, loop_pos,
+                 ev_slot, seen0):
+    """Replay the surviving window events in trace order, exactly.
+
+    Accesses run an inlined transcription of
+    :func:`~repro.core.engine.fasttrack_access_packed` (which counts
+    itself) with the hot state pre-bound and slots pre-resolved
+    (``ev_slot``; every window var is allocated before the loop runs);
+    synchronization and period events dispatch to the live handlers with
+    ``_events_seen`` maintained like the list kernel.
+    """
+    lp = loop_pos.tolist()
+    k_l = kinds[loop_pos].tolist()
+    t_l = tids[loop_pos].tolist()
+    g_l = targets[loop_pos].tolist()
+    sl_l = ev_slot[loop_pos].tolist() if ev_slot is not None else lp
+    if sites_np is not None:
+        s_l = sites_np[loop_pos].tolist()
+    else:
+        s_l = [sites_list[i] for i in lp]
+    threads_add = det._threads.add
+    # access hot state, pre-bound once per window; the access branch
+    # below inlines fasttrack_access_packed — keep the two
+    # transcriptions in lockstep
+    arena = det._arena
+    counters = det.counters
+    thread_clock = det._thread_clock
+    clock_get = thread_clock.get
+    rshared = arena.rshared
+    wep, rep = arena.wep, arena.rep
+    wsite, rsite = arena.wsite, arena.rsite
+    windex, rindex = arena.windex, arena.rindex
+    races_append = det.races.append
+    acquire, release = det.acquire, det.release
+    fork, join = det.fork, det.join
+    vol_read, vol_write = det.vol_read, det.vol_write
+    for p, k, tid, target, site, slot in zip(lp, k_l, t_l, g_l, s_l, sl_l):
+        if k <= 1:
+            clock = clock_get(tid)
+            if clock is None:
+                clock = VectorClock()
+                clock.increment(tid)
+                thread_clock[tid] = clock
+                counters.words_allocated += 2
+            c = clock._c
+            own = c[tid] if tid < len(c) else 0
+            packed_own = (own << TID_BITS) | tid
+            w = int(wep[slot])
+            if k == 0:  # rd (Algorithm 7)
+                counters.reads_slow_sampling += 1
+                r = int(rep[slot])
+                if r == packed_own:
+                    continue  # same read epoch: no action
+                if w:
+                    wt = w & TID_MASK
+                    wc = w >> TID_BITS
+                    if wc > (c[wt] if wt < len(c) else 0):
+                        races_append(
+                            Race(target, WRITE_READ, wt, wc, wsite[slot],
+                                 tid, site, seen0 + p, int(windex[slot]))
+                        )
+                if r == 0:
+                    rep[slot] = packed_own
+                    rsite[slot] = site
+                    rindex[slot] = seen0 + p
+                    counters.words_allocated += 2
+                elif r != READ_SHARED:
+                    rt = r & TID_MASK
+                    if (r >> TID_BITS) <= (c[rt] if rt < len(c) else 0):
+                        rep[slot] = packed_own  # overwrite read epoch
+                        rsite[slot] = site
+                        rindex[slot] = seen0 + p
+                    else:
+                        rshared[slot] = {
+                            rt: (r >> TID_BITS, rsite[slot],
+                                 int(rindex[slot])),
+                            tid: (own, site, seen0 + p),
+                        }
+                        rep[slot] = READ_SHARED
+                        counters.words_allocated += 2
+                else:
+                    rshared[slot][tid] = (own, site, seen0 + p)
+                    counters.words_allocated += 2
+            else:  # wr (Algorithm 8)
+                counters.writes_slow_sampling += 1
+                if w == packed_own:
+                    continue  # same write epoch: no action
+                if w:
+                    wt = w & TID_MASK
+                    wc = w >> TID_BITS
+                    if wc > (c[wt] if wt < len(c) else 0):
+                        races_append(
+                            Race(target, WRITE_WRITE, wt, wc, wsite[slot],
+                                 tid, site, seen0 + p, int(windex[slot]))
+                        )
+                r = int(rep[slot])
+                if r:
+                    if r != READ_SHARED:
+                        rt = r & TID_MASK
+                        rc = r >> TID_BITS
+                        if rc > (c[rt] if rt < len(c) else 0):
+                            races_append(
+                                Race(target, READ_WRITE, rt, rc,
+                                     rsite[slot], tid, site, seen0 + p,
+                                     int(rindex[slot]))
+                            )
+                    else:
+                        for u, (rc, rs, ri) in rshared[slot].items():
+                            if rc > (c[u] if u < len(c) else 0):
+                                races_append(
+                                    Race(target, READ_WRITE, u, rc, rs,
+                                         tid, site, seen0 + p, ri)
+                                )
+                        del rshared[slot]
+                    rep[slot] = 0  # modified FASTTRACK: clear read map
+                wep[slot] = packed_own
+                wsite[slot] = site
+                windex[slot] = seen0 + p
+                counters.words_allocated += 2
+        elif k >= 10:
+            continue
+        elif k == 8:
+            det._events_seen = seen0 + p + 1
+            det.begin_sampling()
+        elif k == 9:
+            det._events_seen = seen0 + p + 1
+            det.end_sampling()
+        else:
+            det._events_seen = seen0 + p + 1
+            threads_add(tid)
+            if k == 2:
+                acquire(tid, target)
+            elif k == 3:
+                release(tid, target)
+            elif k == 4:
+                threads_add(target)
+                fork(tid, target)
+            elif k == 5:
+                join(tid, target)
+            elif k == 6:
+                vol_read(tid, target)
+            else:  # k == 7
+                vol_write(tid, target)
+
+
+# -- PACER column kernel ------------------------------------------------------
+
+
+def pacer_kernel_np(det, kinds, tids, targets, sites_np, sites_list, seen0):
+    """Algorithms 12/13 over NumPy columns (the ``packed-np`` batch path).
+
+    PACER's fast path is *absence*: outside sampling periods, an access
+    to a variable with no live metadata does no work and allocates no
+    space.  The whole batch is classified at once — an access is slow
+    only if its variable is tracked at batch entry or at/after the
+    variable's first in-sampling access (the only way metadata can
+    appear mid-batch; non-sampling accesses never allocate and releases
+    only shrink the tracked set).  Slow accesses, synchronization, and
+    period markers replay in trace order through the scalar
+    transcription, which re-checks trackedness — so an access whose
+    metadata was discarded mid-batch still lands on the inlined fast
+    path with identical counters.
+    """
+    n = len(kinds)
+    counters = det.counters
+    pos = np.arange(n, dtype=np.int64)
+    acc = kinds <= 1
+    sync = _SYNC_TABLE[kinds]
+    acc_pos = pos[acc]
+    na = len(acc_pos)
+    if na == 0:
+        loop_pos = pos[sync]
+        if len(loop_pos):
+            _pacer_run_slow(det, kinds, tids, targets, sites_np, sites_list,
+                            loop_pos, seen0)
+        det._events_seen = seen0 + n
+        return
+    acc_var = targets[acc]
+    acc_tid = tids[acc]
+    acc_wr = kinds[acc] == 1
+
+    # sampling state at each access position
+    bmask = (kinds == 8) | (kinds == 9)
+    bpos = pos[bmask]
+    if len(bpos):
+        bstate = kinds[bpos] == 8
+        j = np.searchsorted(bpos, acc_pos, side="right") - 1
+        in_samp = np.where(j >= 0, bstate[np.maximum(j, 0)], det.sampling)
+    else:
+        if det.sampling:
+            in_samp = np.ones(na, dtype=bool)
+        else:
+            in_samp = np.zeros(na, dtype=bool)
+
+    # tracked at batch entry
+    arena = det._arena
+    if arena.index:
+        tracked0 = _resolve_slots(arena, acc_var) >= 0
+    else:
+        tracked0 = np.zeros(na, dtype=bool)
+
+    # first in-sampling access per variable
+    order = np.argsort(acc_var, kind="stable")
+    svar = acc_var[order]
+    spos = acc_pos[order]
+    ssamp = in_samp[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], svar[1:] != svar[:-1])))
+    counts = np.diff(np.concatenate((starts, [na])))
+    fsamp = np.minimum.reduceat(np.where(ssamp, spos, _BIG), starts)
+    slow_sorted = tracked0[order] | (spos >= np.repeat(fsamp, counts))
+
+    # bulk-retire the provably fast accesses
+    fast_sorted = ~slow_sorted
+    swr = acc_wr[order]
+    counters.reads_fast_nonsampling += int(
+        np.count_nonzero(fast_sorted & ~swr))
+    counters.writes_fast_nonsampling += int(
+        np.count_nonzero(fast_sorted & swr))
+    det._threads.update(np.unique(acc_tid).tolist())
+
+    loop_pos = np.sort(np.concatenate((spos[slow_sorted], pos[sync])))
+    if len(loop_pos):
+        _pacer_run_slow(det, kinds, tids, targets, sites_np, sites_list,
+                        loop_pos, seen0)
+    det._events_seen = seen0 + n
+
+
+def _pacer_run_slow(det, kinds, tids, targets, sites_np, sites_list,
+                    loop_pos, seen0):
+    """Trace-order replay of PACER's surviving events (exact handlers)."""
+    lp = loop_pos.tolist()
+    k_l = kinds[loop_pos].tolist()
+    t_l = tids[loop_pos].tolist()
+    g_l = targets[loop_pos].tolist()
+    if sites_np is not None:
+        s_l = sites_np[loop_pos].tolist()
+    else:
+        s_l = [sites_list[i] for i in lp]
+    threads_add = det._threads.add
+    for p, k, tid, target, site in zip(lp, k_l, t_l, g_l, s_l):
+        if k <= 1:
+            pacer_access_packed(det, k, tid, target, site, seen0 + p)
+        elif k >= 10:
+            continue
+        elif k == 8:
+            det._events_seen = seen0 + p + 1
+            det.begin_sampling()
+        elif k == 9:
+            det._events_seen = seen0 + p + 1
+            det.end_sampling()
+        else:
+            det._events_seen = seen0 + p + 1
+            threads_add(tid)
+            if k == 2:
+                det.acquire(tid, target)
+            elif k == 3:
+                det.release(tid, target)
+            elif k == 4:
+                threads_add(target)
+                det.fork(tid, target)
+            elif k == 5:
+                det.join(tid, target)
+            elif k == 6:
+                det.vol_read(tid, target)
+            else:  # k == 7
+                det.vol_write(tid, target)

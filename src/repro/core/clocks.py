@@ -159,11 +159,12 @@ class VectorClock:
     def join(self, other: "VectorClock") -> None:
         """In-place pointwise maximum: ``self <- self ⊔ other``."""
         mine, theirs = self._c, other._c
-        if len(theirs) > len(mine):
-            mine.extend([0] * (len(theirs) - len(mine)))
-        for i, value in enumerate(theirs):
-            if value > mine[i]:
-                mine[i] = value
+        if mine == theirs:
+            return
+        lt = len(theirs)
+        if lt > len(mine):
+            mine.extend([0] * (lt - len(mine)))
+        mine[:lt] = [m if m >= t else t for m, t in zip(mine, theirs)]
 
     def leq(self, other: "VectorClock") -> bool:
         """Pointwise comparison ``self ⊑ other``."""

@@ -70,12 +70,20 @@ class PacerDetector(Detector):
         self._thread: Dict[int, ThreadMeta] = {}
         self._lock: Dict[int, SyncMeta] = {}
         self._vol: Dict[int, SyncMeta] = {}
-        if self.backend_name == "packed":
-            self._arena: Optional[PackedVarStore] = PackedVarStore()
+        if self.backend_name == "packed-np":
+            from .backend_np import NumpyVarStore, pacer_kernel_np
+
+            self._arena = NumpyVarStore()
             self._vars: Optional[Dict[int, VarState]] = None
+            self._np_kernel = pacer_kernel_np
+        elif self.backend_name == "packed":
+            self._arena: Optional[PackedVarStore] = PackedVarStore()
+            self._vars = None
+            self._np_kernel = None
         else:
             self._arena = None
             self._vars = {}
+            self._np_kernel = None
 
     # -- metadata helpers ---------------------------------------------------
 
@@ -321,16 +329,22 @@ class PacerDetector(Detector):
             super().apply_batch(batch)
             return
         if self._arena is not None:
+            if self._np_kernel is not None:
+                kinds, tids, targets, sites_np, site_list = (
+                    batch.to_numpy_columns()
+                )
+                self._np_kernel(
+                    self, kinds, tids, targets, sites_np, site_list,
+                    self._events_seen,
+                )
+                return
             # packed backend: same run-bulking, one folded access kernel
+            kinds, tids, targets, sites = batch.to_list_columns()
             pacer_kernel(
-                self, batch.kinds, batch.tids, batch.targets, batch.sites,
-                self._events_seen,
+                self, kinds, tids, targets, sites, self._events_seen,
             )
             return
-        kinds = batch.kinds
-        tids = batch.tids
-        targets = batch.targets
-        sites = batch.sites
+        kinds, tids, targets, sites = batch.to_list_columns()
         n = len(kinds)
         kind_bytes = bytes(kinds)
         mask = kind_bytes.translate(_RUN_MASK_TABLE)

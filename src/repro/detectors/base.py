@@ -256,9 +256,8 @@ class Detector:
         dispatch = self._dispatch_by_id
         id_to_kind = ID_TO_KIND
         seen = self._events_seen
-        for kid, tid, target, site in zip(
-            batch.kinds, batch.tids, batch.targets, batch.sites
-        ):
+        kinds, tids, targets, sites = batch.to_list_columns()
+        for kid, tid, target, site in zip(kinds, tids, targets, sites):
             seen += 1
             self._events_seen = seen
             dispatch[kid](Event(id_to_kind[kid], tid, target, site))

@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..analysis.parallel import DETECTOR_FACTORIES
+from ..core.backend import BACKENDS
 from ..obs.metrics import MetricsRegistry
 from ..obs.reports import merge_reports
 from ..obs.tracing import (
@@ -510,10 +511,10 @@ class TelemetryServer:
                 f"unknown detector {hello.detector!r} "
                 f"(choices: {', '.join(sorted(DETECTOR_FACTORIES))})"
             )
-        if hello.backend not in (None, "object", "packed"):
+        if hello.backend is not None and hello.backend not in BACKENDS:
             raise HandshakeError(
                 f"unknown state backend {hello.backend!r} "
-                f"(choices: object, packed)"
+                f"(choices: {', '.join(BACKENDS)})"
             )
         with self._sessions_lock:
             sess = self._sessions.get(hello.session)

@@ -40,6 +40,8 @@ __all__ = [
     "load_trace_binary",
     "dumps_binary",
     "loads_binary",
+    "loads_binary_columns",
+    "load_trace_columns",
     "describe_binary",
 ]
 
@@ -199,6 +201,167 @@ def loads_binary(data: bytes, validate: bool = True) -> Trace:
     if validate:
         trace.validate()
     return trace
+
+
+# -- columnar (zero-copy) reader ---------------------------------------------
+#
+# ``loads_binary_columns`` decodes the same wire format straight into an
+# :class:`~repro.trace.batch.EventBatch` whose columns are NumPy arrays,
+# skipping per-event ``Event`` construction entirely — the feed for the
+# vectorized ``packed-np`` kernels.  The decode is vectorized (one pass
+# of array ops over the whole payload, no per-varint Python), and
+# ``load_trace_columns`` maps the file with ``mmap`` so the raw bytes
+# are never copied into the interpreter heap.
+#
+# Correctness contract: on *any* anomaly — bad magic, truncated varint,
+# CRC mismatch, structural disagreement, oversized values — the column
+# reader delegates to :func:`loads_binary`, so corrupt input produces
+# byte-identical :class:`TraceFormatError` messages in the scalar
+# reader's checking order.  The fast path returns only when a fully
+# clean vectorized decode agrees with the format's sequential grammar.
+
+def _columns_fallback(data, validate: bool):
+    """Decode via the scalar reader (exact errors), then columnize."""
+    from .batch import encode_batch
+
+    trace = loads_binary(bytes(data), validate=validate)
+    return encode_batch(trace.events)
+
+
+def loads_binary_columns(data, validate: bool = False):
+    """Parse a binary trace into a columnar :class:`EventBatch`.
+
+    Accepts any bytes-like object (``bytes``, ``memoryview``, ``mmap``).
+    Structural integrity — magic, version, varint well-formedness, event
+    count, CRC32 trailer — is always enforced, with the same exceptions
+    as :func:`loads_binary`.  Trace *feasibility* validation needs
+    materialized events, so it is off by default here; pass
+    ``validate=True`` to pay for it (the scalar path is used then).
+
+    Requires numpy for the vectorized path; without it the scalar reader
+    is used transparently.
+    """
+    from .batch import EventBatch
+
+    if validate:
+        return _columns_fallback(data, validate)
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised via gating tests
+        return _columns_fallback(data, validate)
+
+    view = memoryview(data)
+    try:
+        version, pos, end = _parse_header(view)
+        count, pos = _read_varint(view, pos, end)
+    except TraceFormatError:
+        return _columns_fallback(data, validate)
+    if version >= 2 and zlib.crc32(view[:-_CRC_BYTES]) != int.from_bytes(
+        view[-_CRC_BYTES:], "little"
+    ):
+        # scalar reader decides whether a structural error outranks the
+        # CRC mismatch, keeping the error order identical
+        return _columns_fallback(data, validate)
+    if count == 0:
+        if pos != end:
+            return _columns_fallback(data, validate)
+        return EventBatch([], [], [], [])
+    if pos >= end or count > end - pos:
+        return _columns_fallback(data, validate)
+
+    b = np.frombuffer(view, dtype=np.uint8, count=end - pos, offset=pos)
+    term = (b & 0x80) == 0
+    if not term[-1]:  # payload ends mid-varint
+        return _columns_fallback(data, validate)
+    nb = len(b)
+    starts = np.empty(nb, dtype=bool)
+    starts[0] = True
+    starts[1:] = term[:-1]
+    gid = np.cumsum(starts) - 1  # varint index owning each byte
+    spos = np.flatnonzero(starts)
+    k = np.arange(nb, dtype=np.int64) - spos[gid]
+    if int(k.max()) > 4:
+        # values >= 2^35 (or varints longer than the 64-bit limit):
+        # rare enough that the scalar reader both decodes and errors them
+        return _columns_fallback(data, validate)
+    vals = (b & 0x7F).astype(np.int64) << (7 * k)
+    cs = np.cumsum(vals)
+    tpos = np.flatnonzero(term)
+    V = cs[tpos] - cs[spos] + vals[spos]  # all varint values, in order
+    M = len(V)
+
+    # Recover record boundaries.  The grammar is sequential — a record
+    # is 1 varint for sbegin/send, 4 otherwise — but only the *values*
+    # 8/9 at record starts matter, so walk just the candidate positions:
+    # between consecutive one-varint markers every record is 4 long.
+    markers: List[int] = []
+    cur = 0
+    cand = np.flatnonzero((V == _SBEGIN_ID) | (V == _SEND_ID))
+    for c in cand.tolist():
+        if c >= cur and (c - cur) % 4 == 0:
+            markers.append(c)
+            cur = c + 1
+    if (M - cur) % 4:
+        return _columns_fallback(data, validate)
+    n_records = len(markers) + (M - len(markers)) // 4
+    if n_records != count:
+        return _columns_fallback(data, validate)
+
+    if markers:
+        parts = []
+        prev = 0
+        for m in markers:
+            parts.append(np.arange(prev, m, 4, dtype=np.int64))
+            parts.append(np.array([m], dtype=np.int64))
+            prev = m + 1  # a marker record is exactly one varint
+        parts.append(np.arange(prev, M, 4, dtype=np.int64))
+        rs = np.concatenate(parts)
+    else:
+        rs = np.arange(0, M, 4, dtype=np.int64)
+
+    kinds = V[rs]
+    if int(kinds.max()) >= _N_KINDS:
+        return _columns_fallback(data, validate)
+    ismk = (kinds == _SBEGIN_ID) | (kinds == _SEND_ID)
+    lim = M - 1
+    tids = np.where(ismk, -1, V[np.minimum(rs + 1, lim)] - 1)
+    targets = np.where(ismk, 0, V[np.minimum(rs + 2, lim)])
+    z = V[np.minimum(rs + 3, lim)]
+    sites = np.where(ismk, 0, (z >> 1) ^ -(z & 1))
+    return EventBatch.from_columns(
+        kinds.astype(np.uint8), tids, targets, sites
+    )
+
+
+def load_trace_columns(path: Union[str, Path], validate: bool = False):
+    """Read a binary trace file into a columnar :class:`EventBatch`.
+
+    The file is ``mmap``-ed read-only and decoded in place — the raw
+    bytes are never copied into the Python heap; only the four decoded
+    integer columns are materialized.  Error behavior and the
+    ``validate`` switch match :func:`loads_binary_columns`.
+    """
+    import mmap
+
+    with open(Path(path), "rb") as fh:
+        size = fh.seek(0, 2)
+        if size == 0:
+            # mmap rejects empty files; the scalar reader owns the error
+            return _columns_fallback(b"", validate)
+        mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            try:
+                return loads_binary_columns(mm, validate=validate)
+            except TraceFormatError:
+                # the traceback pins buffer views into the map; copy out
+                # and re-raise from plain bytes so the map can close
+                data = bytes(mm)
+        finally:
+            try:
+                mm.close()
+            except BufferError:  # pragma: no cover - freed by the GC then
+                pass
+    return _columns_fallback(data, validate)
 
 
 def describe_binary(data: bytes, validate: bool = False) -> Dict[str, object]:

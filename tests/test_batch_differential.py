@@ -20,6 +20,7 @@ import random
 import pytest
 
 from helpers import race_sigs
+from repro.core.backend import BACKENDS as AVAILABLE_BACKENDS
 from repro.core.pacer import PacerDetector
 from repro.detectors import (
     EraserDetector,
@@ -150,13 +151,29 @@ BACKEND_DETECTORS = [
     ("literace", lambda backend: LiteRaceDetector(seed=99, backend=backend)),
 ]
 
+#: the non-reference (arena) backends, with ``packed-np`` skipped
+#: gracefully on interpreters without numpy
+ARENA_BACKENDS = [
+    pytest.param("packed", id="packed"),
+    pytest.param(
+        "packed-np",
+        id="packed-np",
+        marks=pytest.mark.skipif(
+            "packed-np" not in AVAILABLE_BACKENDS,
+            reason="numpy not installed; packed-np backend unavailable",
+        ),
+    ),
+]
 
+
+@pytest.mark.parametrize("arena", ARENA_BACKENDS)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_object_and_packed_backends_agree(seed):
-    """The packed arena backend is observationally identical to the
-    reference object backend: same race reports (down to indices), same
-    operation counters, same footprint words, same thread bookkeeping —
-    on both the scalar and the batched dispatch path."""
+def test_arena_backends_agree_with_object(seed, arena):
+    """Each arena backend is observationally identical to the reference
+    object backend: same race reports (down to indices), same operation
+    counters, same footprint words, same thread bookkeeping — on both
+    the scalar and the batched dispatch path, and (for ``packed-np``)
+    through the vectorized column kernels on pre-encoded batches."""
     name, build = GENERATORS[seed % len(GENERATORS)]
     plain = _trace_for(build, seed)
     marked = _with_sampling_periods(plain, seed)
@@ -164,15 +181,47 @@ def test_object_and_packed_backends_agree(seed):
         for events, variant in ((plain, "plain"), (marked, "marked")):
             obj = make("object")
             obj.run(list(events))
-            packed_scalar = make("packed")
-            packed_scalar.run(list(events))
-            packed_batched = make("packed")
-            packed_batched.run_batch(list(events), batch_size=37)
-            label = f"{det_name}/{name}/seed{seed}/{variant}"
-            assert _full_state(obj) == _full_state(packed_scalar), label
-            assert _full_state(obj) == _full_state(packed_batched), (
+            arena_scalar = make(arena)
+            arena_scalar.run(list(events))
+            arena_batched = make(arena)
+            arena_batched.run_batch(list(events), batch_size=37)
+            arena_encoded = make(arena)
+            arena_encoded.run_batch(encode_batch(list(events)))
+            label = f"{det_name}/{name}/seed{seed}/{variant}/{arena}"
+            assert _full_state(obj) == _full_state(arena_scalar), label
+            assert _full_state(obj) == _full_state(arena_batched), (
                 f"{label} (batched)"
             )
+            assert _full_state(obj) == _full_state(arena_encoded), (
+                f"{label} (pre-encoded)"
+            )
+
+
+def _footprint_curve(make, backend, events, stride=23):
+    """Figure 10's raw material: footprint words sampled every ``stride``
+    events while the trace replays through ``run_batch``."""
+    det = make(backend)
+    curve = []
+    for start in range(0, len(events), stride):
+        det.run_batch(list(events[start:start + stride]))
+        curve.append(det.footprint_words())
+    return curve
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_footprint_curves_identical_across_backends(seed):
+    """The Figure-10 footprint curve — not just the final value — is
+    byte-equal across all available backends.  PACER's metadata discard
+    makes this sharp: released slots sit on the arena free list, and a
+    backend that counted arena *capacity* instead of live entries would
+    diverge from the object backend exactly after the first discard."""
+    name, build = GENERATORS[seed % len(GENERATORS)]
+    marked = _with_sampling_periods(_trace_for(build, seed), seed)
+    for det_name, make in BACKEND_DETECTORS:
+        ref = _footprint_curve(make, "object", marked)
+        for backend in AVAILABLE_BACKENDS[1:]:
+            got = _footprint_curve(make, backend, marked)
+            assert got == ref, f"{det_name}/{name}/seed{seed}/{backend}"
 
 
 @pytest.mark.parametrize("seed", SEEDS)

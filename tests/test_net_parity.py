@@ -9,8 +9,9 @@ to running the same events through a detector in one process.  "Modulo
 session metadata" means exactly one field: ``source`` says
 ``"telemetry"`` instead of ``"analyze"``.
 
-Pinned on both state backends (``object`` and ``packed``) and for both
-an always-on detector (FASTTRACK) and the sampling one (PACER).
+Pinned on every available state backend (``object``, ``packed``, and —
+when numpy is installed — ``packed-np``) and for both an always-on
+detector (FASTTRACK) and the sampling one (PACER).
 """
 
 from __future__ import annotations
@@ -20,13 +21,14 @@ import json
 import pytest
 
 from repro.cli import DETECTORS
+from repro.core.backend import BACKENDS as AVAILABLE_BACKENDS
 from repro.net import ServerConfig, TelemetryClient, TelemetryServer
 from repro.obs import RunObserver, SyncIndex
 from repro.obs.provenance import DEFAULT_WINDOW, FlightRecorder
 from repro.obs.reports import build_report, validate_report
 from repro.trace.generator import GeneratorConfig, random_trace
 
-BACKENDS = ["object", "packed"]
+BACKENDS = list(AVAILABLE_BACKENDS)
 DETECTOR_NAMES = ["fasttrack", "pacer"]
 
 #: racy seeded workload with sampling periods (exercises PACER's

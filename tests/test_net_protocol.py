@@ -443,6 +443,19 @@ def test_server_rejects_unknown_detector(server):
     conn.close()
 
 
+def test_server_rejects_unknown_backend(server):
+    from repro.core.backend import BACKENDS
+
+    conn = RawConn(server.address)
+    conn.send(Hello(session="bad-backend", backend="packed-nope"))
+    err = conn.expect_error("handshake")
+    assert "state backend" in err.detail
+    # the refusal names every backend this server can actually build
+    for backend in BACKENDS:
+        assert backend in err.detail
+    conn.close()
+
+
 def test_server_rejects_events_before_hello(server):
     conn = RawConn(server.address)
     conn.send(EventsChunk(seq=1, events=(Event(READ, 0, 1, 0),)))
