@@ -60,6 +60,7 @@ __all__ = [
     "run_matrix",
     "merge_matrix",
     "matrix_report",
+    "matrix_coverage",
     "default_jobs",
     "require_complete",
 ]
@@ -334,6 +335,146 @@ def matrix_report(
         for task, stats in zip(tasks, results)
     ]
     return merge_reports(docs, source=source)
+
+
+#: baseline preference order for the proportionality audit: the first
+#: always-on *precise* detector present in the matrix anchors the
+#: denominator (what a full-rate run would have reported)
+_AUDIT_BASELINES = ("fasttrack", "djit", "generic", "goldilocks")
+
+
+def matrix_coverage(
+    tasks: Sequence[TrialTask],
+    results: Sequence[CoreStats],
+    source: str = "matrix",
+) -> Dict:
+    """One merged coverage document for a whole matrix run.
+
+    Per-trial ``repro/coverage-report/v1`` documents (from the counters
+    and race signatures workers already ship) fold into one global
+    accounting, extended with two matrix-only sections:
+
+    * ``curve`` — one row per (workload, detector, rate) cell: trials,
+      events, dynamic races, and the sync-op-weighted effective rate —
+      the live rate-vs-detection curve data behind the paper's
+      Figure 3–5 proportionality plots;
+    * ``audit`` — for every sampled-detector cell that shares a
+      workload with an always-on precise baseline in the same matrix:
+      the paper's Figure 3 dynamic detection ratio.  The baseline's
+      per-trial dynamic race count ``k`` gives the cell's detection
+      opportunities (``k * trials``); PACER's guarantee says each is
+      reported with probability ``r``, so the observed fraction's
+      Wilson 95% interval should contain the cell's effective rate —
+      the same claim :mod:`~repro.analysis.experiments` checks offline
+      (``dynamic_detection_rate`` tracking ``mean_effective_rate``).
+
+    Everything derives from ``CoreStats`` in deterministic group order,
+    so the document is byte-identical for any ``--jobs`` value and any
+    state backend.
+    """
+    # imported here to keep module import light and cycle-free
+    from ..obs.quality import (
+        coverage_from_sigs,
+        effective_rate_ci,
+        merge_coverage,
+        sync_op_split,
+    )
+    from .statistics import wilson_interval
+
+    docs = [
+        coverage_from_sigs(
+            stats.race_sigs,
+            source=source,
+            detector=task.detector,
+            workload=task.workload,
+            nominal_rate=task.rate,
+            counters=stats.counters,
+            events=stats.events,
+        )
+        for task, stats in zip(tasks, results)
+    ]
+    merged = merge_coverage(docs, source=source)
+
+    groups: Dict[Tuple, List[CoreStats]] = {}
+    for task, stats in zip(tasks, results):
+        key = (task.workload, task.detector, task.rate)
+        groups.setdefault(key, []).append(stats)
+
+    curve: List[Dict] = []
+    cells: Dict[Tuple, Dict] = {}
+    for key in sorted(groups, key=str):
+        workload, detector, rate = key
+        group = groups[key]
+        sampled = 0
+        total = 0
+        for stats in group:
+            s, t = sync_op_split(stats.counters)
+            sampled += s
+            total += t
+        eff, _ = effective_rate_ci(sampled, total)
+        row = {
+            "workload": workload,
+            "detector": detector,
+            "rate": rate,
+            "trials": len(group),
+            "events": sum(s.events for s in group),
+            "dynamic_races": sum(s.races for s in group),
+            "sync_sampled": sampled,
+            "sync_total": total,
+            "effective_rate": round(eff, 9),
+        }
+        curve.append(row)
+        cells[key] = row
+
+    audit: List[Dict] = []
+    for row in curve:
+        if row["rate"] is None:
+            continue
+        baseline_row = None
+        for name in _AUDIT_BASELINES:
+            baseline_row = cells.get((row["workload"], name, None))
+            if baseline_row is not None:
+                break
+        if baseline_row is None:
+            continue
+        trials = row["trials"]
+        detected = row["dynamic_races"]
+        baseline_races = baseline_row["dynamic_races"]
+        # Figure 3's metric: the baseline saw k dynamic races per trial,
+        # so this cell had ~k*trials detection opportunities, each
+        # reported with probability r — the observed fraction's Wilson
+        # interval should contain the effective rate
+        occurrences = baseline_races / baseline_row["trials"]
+        slots = round(occurrences * trials)
+        fraction = None
+        ci = None
+        consistent = None
+        if slots > 0:
+            fraction = round(detected / slots, 9)
+            lo, hi = wilson_interval(min(detected, slots), slots)
+            ci = [round(lo, 9), round(hi, 9)]
+            consistent = lo <= row["effective_rate"] <= hi
+        audit.append(
+            {
+                "workload": row["workload"],
+                "detector": row["detector"],
+                "rate": row["rate"],
+                "baseline": baseline_row["detector"],
+                "detected": detected,
+                "trials": trials,
+                "baseline_races": baseline_races,
+                "occurrences_per_trial": round(occurrences, 9),
+                "expected_occurrences": slots,
+                "observed_fraction": fraction,
+                "effective_rate": row["effective_rate"],
+                "ci95": ci,
+                "consistent": consistent,
+            }
+        )
+
+    merged["curve"] = curve
+    merged["audit"] = audit
+    return merged
 
 
 def merge_matrix(

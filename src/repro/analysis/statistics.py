@@ -45,7 +45,16 @@ def wilson_interval(
         * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
         / denom
     )
-    return (max(0.0, centre - half), min(1.0, centre + half))
+    lo = max(0.0, centre - half)
+    hi = min(1.0, centre + half)
+    # at the boundaries the interval endpoints are exactly 0 and 1;
+    # ``centre - half`` can stray by an ulp and break endpoint checks
+    # like "is rate 0 consistent with 0 detections"
+    if successes == 0:
+        lo = 0.0
+    if successes == trials:
+        hi = 1.0
+    return (lo, hi)
 
 
 def binomial_ci_contains(

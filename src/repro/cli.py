@@ -37,13 +37,19 @@ Commands:
   session and print the server's summary.
 * ``report``    — query a running server's live merged report
   (``--follow`` to poll).
+* ``coverage``  — audit detection quality for one run: sync-op-weighted
+  effective sampling rate, per-period race attribution, and the
+  proportional estimate of the true race count
+  (``repro/coverage-report/v1``).
 
 ``analyze`` and ``matrix`` accept ``--json`` for machine-readable output
 (races + counters + metrics), and ``analyze``/``detect``/``matrix`` all
 take ``--metrics-out``/``--trace-out`` (plus ``--timeline-out`` where a
-single run produces a timeline) and ``--report-out`` for the structured
+single run produces a timeline), ``--report-out`` for the structured
 race report (``repro/race-report/v1``; shard-merged deterministically on
-``matrix``).  Trace file formats are auto-detected (binary traces start
+``matrix``), and ``--coverage-out`` for the detection-quality coverage
+report (``repro/coverage-report/v1``; on ``matrix`` it carries the
+rate-vs-detection curve and the proportionality audit).  Trace file formats are auto-detected (binary traces start
 with the ``PACR`` magic); ``--format`` forces one.
 """
 
@@ -62,6 +68,7 @@ from .analysis.parallel import (
     DETECTOR_FACTORIES,
     default_jobs,
     expand_matrix,
+    matrix_coverage,
     matrix_report,
     merge_matrix,
     run_matrix,
@@ -79,11 +86,14 @@ from .obs import (
     FlightRecorder,
     RunObserver,
     SyncIndex,
+    build_coverage,
     build_report,
     matrix_trace_events,
+    render_coverage,
     render_report_markdown,
     render_report_table,
     write_chrome_trace,
+    write_coverage,
     write_report,
 )
 from .obs.observer import DEFAULT_SAMPLE_EVERY
@@ -168,6 +178,7 @@ def _wants_observer(args) -> bool:
         or getattr(args, "timeline_out", None)
         or getattr(args, "trace_out", None)
         or getattr(args, "report_out", None)
+        or getattr(args, "coverage_out", None)
     )
 
 
@@ -219,6 +230,39 @@ def _write_report_output(
         print(f"wrote race report to {args.report_out}")
 
 
+def _write_coverage_output(
+    obs: Optional[RunObserver],
+    detector: Detector,
+    args,
+    source: str,
+    events: int,
+    rate: Optional[float] = None,
+    workload: Optional[str] = None,
+    quiet: bool = False,
+) -> None:
+    """Build and write the detection-quality coverage report when requested.
+
+    The document deliberately omits the state backend, so the same run is
+    byte-identical across ``--state-backend`` choices (the quality suite
+    pins this).
+    """
+    if not getattr(args, "coverage_out", None):
+        return
+    doc = build_coverage(
+        source=source,
+        detector=detector.name,
+        workload=workload,
+        nominal_rate=rate,
+        counters=detector.counters.snapshot(),
+        marks=obs.sampling_marks if obs is not None else (),
+        races=detector.races,
+        events=events,
+    )
+    write_coverage(Path(args.coverage_out), doc)
+    if not quiet:
+        print(f"wrote coverage report to {args.coverage_out}")
+
+
 def _write_obs_outputs(obs: Optional[RunObserver], args, quiet: bool = False) -> None:
     if obs is None:
         return
@@ -262,6 +306,12 @@ def _add_obs_arguments(
         "--report-out", default=None, metavar="PATH",
         help="write a structured race report (repro/race-report/v1 JSON); "
         "attaches a flight recorder for per-race context capture",
+    )
+    p.add_argument(
+        "--coverage-out", default=None, metavar="PATH",
+        help="write the detection-quality coverage report "
+        "(repro/coverage-report/v1 JSON): effective sampling rate, "
+        "race attribution, and estimated true race count",
     )
     p.add_argument(
         "--sample-every", type=int, default=DEFAULT_SAMPLE_EVERY, metavar="N",
@@ -365,6 +415,9 @@ def cmd_analyze(args) -> int:
         sync=SyncIndex.from_trace(trace) if args.report_out else None,
         quiet=args.json,
     )
+    _write_coverage_output(
+        obs, detector, args, "analyze", detector.perf.events, quiet=args.json
+    )
     if args.json:
         _print_json(
             {
@@ -435,6 +488,11 @@ def cmd_detect(args) -> int:
         rate=None if args.rate is None else args.rate / 100.0,
         site_name=describe_site,
     )
+    _write_coverage_output(
+        obs, detector, args, "detect", runtime.events,
+        rate=None if args.rate is None else args.rate / 100.0,
+        workload=args.workload,
+    )
     return 0
 
 
@@ -484,6 +542,11 @@ def cmd_profile(args) -> int:
         obs, detector, args, "profile", runtime.events,
         rate=None if controller is None else controller.rate,
         site_name=describe_site,
+    )
+    _write_coverage_output(
+        obs, detector, args, "profile", runtime.events,
+        rate=None if controller is None else controller.rate,
+        workload=args.workload,
     )
     return 0
 
@@ -598,6 +661,12 @@ def cmd_matrix(args) -> int:
         write_report(Path(args.report_out), matrix_report(live_tasks, live_results))
         if not args.json:
             print(f"wrote merged race report to {args.report_out}")
+    if args.coverage_out:
+        write_coverage(
+            Path(args.coverage_out), matrix_coverage(live_tasks, live_results)
+        )
+        if not args.json:
+            print(f"wrote matrix coverage report to {args.coverage_out}")
     if args.trace_out:
         write_chrome_trace(
             Path(args.trace_out), matrix_trace_events(pairs)
@@ -830,6 +899,79 @@ def cmd_explain(args) -> int:
     ):
         if out:
             print(f"wrote {label} to {out}")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    """Audit detection quality for one run (``repro coverage``).
+
+    Accepts either a trace file (replayed through the detector) or a
+    workload name (run live, seeded — the live path is the only one that
+    exercises PACER sampling periods).  Prints the rendered
+    ``repro/coverage-report/v1`` summary; ``--out`` writes the JSON
+    document, ``--json`` prints it instead of the rendering.
+    """
+    path = Path(args.trace)
+    detector = DETECTORS[args.detector](backend=args.state_backend)
+    obs = RunObserver(sample_every=DEFAULT_SAMPLE_EVERY)
+    rate = None
+    workload = None
+    if path.exists():
+        if args.rate is not None:
+            print("--rate only applies to live workload runs", file=sys.stderr)
+            return 2
+        trace = _load(path, args.format)
+        obs.attach(detector)
+        detector.run(trace)
+        obs.finalize(detector)
+        events = detector.perf.events
+    elif args.trace in WORKLOADS:
+        workload = args.trace
+        spec = WORKLOADS[args.trace].scaled(args.scale)
+        controller = None
+        if args.detector == "pacer":
+            rate = (10.0 if args.rate is None else args.rate) / 100.0
+            controller = BiasCorrectedController(
+                rate, rng=random.Random(args.seed)
+            )
+        elif args.rate is not None:
+            print("--rate only applies to the pacer detector", file=sys.stderr)
+            return 2
+        runtime = Runtime(
+            build_program(spec, args.seed),
+            detector,
+            controller=controller,
+            config=RuntimeConfig(track_memory=False),
+            seed=args.seed,
+            observer=obs,
+        )
+        runtime.run()
+        events = runtime.events
+    else:
+        print(
+            f"{args.trace!r} is neither a trace file nor a workload "
+            f"(choices: {', '.join(sorted(WORKLOADS))})",
+            file=sys.stderr,
+        )
+        return 2
+    doc = build_coverage(
+        source="coverage",
+        detector=detector.name,
+        workload=workload,
+        nominal_rate=rate,
+        counters=detector.counters.snapshot(),
+        marks=obs.sampling_marks,
+        races=detector.races,
+        events=events,
+    )
+    if args.out:
+        write_coverage(Path(args.out), doc)
+    if args.json:
+        _print_json(doc)
+        return 0
+    print(render_coverage(doc))
+    if args.out:
+        print(f"wrote coverage report to {args.out}")
     return 0
 
 
@@ -1259,6 +1401,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the merged, jobs-independent race report as JSON",
     )
     p.add_argument(
+        "--coverage-out", default=None, metavar="PATH",
+        help="write the merged detection-quality coverage report "
+        "(repro/coverage-report/v1) with the rate-vs-detection curve "
+        "and per-cell proportionality audit",
+    )
+    p.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="journal every completed trial to PATH (append-only JSONL "
         "with per-record CRCs, written via atomic rename)",
@@ -1432,6 +1580,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="exit nonzero if any speedup gate misses its target")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "coverage",
+        help="audit detection quality: effective sampling rate, race "
+        "attribution, and estimated true race count",
+    )
+    p.add_argument(
+        "trace",
+        help="a trace file, or a workload name to run live (seeded)",
+    )
+    p.add_argument("--detector", choices=sorted(DETECTORS), default="pacer")
+    p.add_argument("--format", choices=["auto", "text", "binary"], default="auto")
+    p.add_argument(
+        "--rate", type=float, default=None,
+        help="PACER sampling rate in percent (default 10 for pacer; "
+        "live workload runs only)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="workload trial seed")
+    p.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the repro/coverage-report/v1 JSON document",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the coverage document instead of the summary",
+    )
+    _add_backend_argument(p)
+    p.set_defaults(func=cmd_coverage)
 
     p = sub.add_parser("convert", help="convert between trace formats")
     p.add_argument("input")

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..detectors.base import Detector, SiteId
 from ..detectors.fasttrack import FastTrackDetector
+from ..obs.quality import build_coverage
 from ..obs.reports import build_report, render_report_table
 from ..obs.provenance import SyncIndex
 from ..trace.events import (
@@ -280,6 +281,41 @@ class RaceMonitor:
     def describe_races(self) -> str:
         """Human-readable race report with source locations."""
         return render_report_table(self.race_report())
+
+    def coverage_report(
+        self, nominal_rate: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The live run's detection-quality accounting as one
+        ``repro/coverage-report/v1`` document.
+
+        Sampling marks come from the observer's square wave (fed by
+        ``begin_sampling``/``end_sampling``, e.g. via a
+        :class:`SamplingDriver`), falling back to the flight recorder's
+        marks; counters and races come straight off the detector —
+        exactly the evidence offline analysis uses, so live and offline
+        coverage agree on the same event sequence.  ``nominal_rate`` is
+        the configured sampling rate as a fraction (a driver's
+        ``rate``), or None when the run has no dial.
+        """
+        det = self.detector
+        obs = self.observer
+        marks = []
+        if obs is not None:
+            marks = obs.sampling_marks
+            if not marks:
+                rec = getattr(obs, "recorder", None)
+                if rec is not None:
+                    marks = rec.sampling_marks
+        with self._mutex:
+            return build_coverage(
+                source="live",
+                detector=det.name,
+                nominal_rate=nominal_rate,
+                counters=det.counters.snapshot(),
+                marks=marks,
+                races=det.races,
+                events=det._events_seen,
+            )
 
 
 class SharedVar:

@@ -59,6 +59,7 @@ from typing import Dict, List, Optional
 from ..analysis.parallel import DETECTOR_FACTORIES
 from ..core.backend import BACKENDS
 from ..obs.metrics import MetricsRegistry
+from ..obs.quality import merge_coverage
 from ..obs.reports import merge_reports
 from ..obs.tracing import (
     PID_FRONT,
@@ -777,6 +778,11 @@ class TelemetryServer:
                     self._finalize_session(sess)
         docs = [sess.last_doc for sess in sessions if sess.last_doc]
         self._update_shard_health()
+        coverage = merge_coverage(
+            [d["coverage"] for d in docs if d.get("coverage")],
+            source="telemetry",
+        )
+        self._update_quality_gauges(coverage)
         merged_metrics = MetricsRegistry()
         merged_metrics.merge(self.metrics)
         for doc in docs:
@@ -804,6 +810,7 @@ class TelemetryServer:
             "report": merge_reports(
                 [doc["report"] for doc in docs], source="telemetry"
             ),
+            "coverage": coverage,
             "metrics": merged_metrics.snapshot(),
             "server": {
                 "worker_restarts": self._pool.worker_restarts if self._pool else 0,
@@ -833,6 +840,23 @@ class TelemetryServer:
             self.metrics.gauge("net_shard_quarantined", shard=shard).set(
                 1 if restarts > QUARANTINE_RESTARTS else 0
             )
+
+    def _update_quality_gauges(self, coverage: Dict) -> None:
+        """Refresh the detection-quality gauges from a merged coverage doc.
+
+        These live in the *server's* registry only (like the ``net_*``
+        series), so per-session metrics stay byte-identical to the same
+        trace analyzed offline.
+        """
+        self.metrics.gauge("pacer_effective_rate").set(
+            coverage["sync"]["effective_rate"]
+        )
+        self.metrics.gauge("pacer_expected_detection").set(
+            coverage["estimate"]["expected_detection"]
+        )
+        self.metrics.gauge("pacer_coverage_deficit").set(
+            coverage["estimate"]["coverage_deficit"]
+        )
 
     def merged_report(self, refresh: bool = True) -> Dict:
         """Just the merged ``repro/race-report/v1`` document."""
@@ -885,12 +909,19 @@ class TelemetryServer:
             merged.merge_snapshot(self.query_doc()["metrics"])
             return merged
         self._update_shard_health()
-        merged = MetricsRegistry()
-        merged.merge(self.metrics)
         with self._sessions_lock:
             docs = [
                 s.last_doc for s in self._sessions.values() if s.last_doc
             ]
+        # quality gauges must land in self.metrics before the fold below
+        self._update_quality_gauges(
+            merge_coverage(
+                [d["coverage"] for d in docs if d.get("coverage")],
+                source="telemetry",
+            )
+        )
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
         for doc in sorted(docs, key=lambda d: d["session"]):
             merged.merge_snapshot(doc["metrics"])
         return merged

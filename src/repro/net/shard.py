@@ -47,6 +47,7 @@ from ..analysis.parallel import DETECTOR_FACTORIES
 from ..analysis.supervisor import PipeWorker
 from ..obs.observer import RunObserver
 from ..obs.provenance import DEFAULT_WINDOW, FlightRecorder, SyncIndexBuilder
+from ..obs.quality import build_coverage, sync_op_split
 from ..obs.reports import build_report
 from ..obs.tracing import PID_SHARD_BASE, SpanRecorder, chunk_flow_id
 from ..util.faults import CRASH_EXIT_CODE
@@ -152,9 +153,19 @@ class SessionHost:
             sync=self.sync_builder.build(),
             site_name=site_name,
         )
+        coverage = build_coverage(
+            source="telemetry",
+            detector=det.name,
+            nominal_rate=None,
+            counters=det.counters.snapshot(),
+            marks=self.observer.sampling_marks,
+            races=det.races,
+            events=det.perf.events,
+        )
         return {
             "session": self.session,
             "report": report,
+            "coverage": coverage,
             "events": det.perf.events,
             "races": len(det.races),
             "distinct_races": len(det.distinct_races),
@@ -227,6 +238,15 @@ class _HostTable:
             cat="shard",
             args=args,
             flow_in=flow_in,
+        )
+        # one counter sample per applied chunk (never per event): the
+        # merged service trace grows an "effective_rate" counter track
+        # per session, plotting sampling coverage over wall-clock time
+        sampled, total = sync_op_split(host.detector.counters.snapshot())
+        self.recorder.counter(
+            "effective_rate",
+            round(sampled / total, 6) if total else 0.0,
+            tid=self._tid(session),
         )
         return races, lag_us
 

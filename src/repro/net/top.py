@@ -3,10 +3,12 @@
 Builds a compact, *versioned* view (``repro/top-status/v1``) out of the
 server's ``repro/telemetry-status/v1`` query document: session counts,
 event/chunk throughput (rates need two samples, so ``--once`` reports
-``null``), race totals, per-shard health (up / restarts / quarantined /
-queue depth / owned sessions), protocol-error taxonomy, and the
-backpressure picture (receive-buffer high-water mark, credit stalls,
-chunk lag percentiles-by-proxy via histogram mean).
+``null``), race totals, the detection-quality panel (effective sampling
+rate, estimated true race count, and coverage deficit from the merged
+``repro/coverage-report/v1`` document), per-shard health (up / restarts /
+quarantined / queue depth / owned sessions), protocol-error taxonomy,
+and the backpressure picture (receive-buffer high-water mark, credit
+stalls, chunk lag percentiles-by-proxy via histogram mean).
 
 Two consumers, one builder:
 
@@ -96,6 +98,10 @@ def build_top_status(
             errors_by_code[code] = int(value)
     events_total = _counter(metrics, "net_events_total")
     chunks_total = _counter(metrics, "net_chunks_total")
+    coverage = doc.get("coverage") or {}
+    cov_sync = coverage.get("sync", {})
+    cov_est = coverage.get("estimate", {})
+    cov_races = coverage.get("races", {})
     stall = _hist(metrics, "net_credit_stall_us")
     lag = _hist(metrics, "net_chunk_lag_us")
     shards = [
@@ -135,6 +141,15 @@ def build_top_status(
             "distinct": int(report.get("distinct_races", 0)),
         },
         "shards": shards,
+        "quality": {
+            "effective_rate": cov_sync.get("effective_rate"),
+            "sync_sampled": int(cov_sync.get("sampled", 0)),
+            "sync_total": int(cov_sync.get("total", 0)),
+            "expected_detection": cov_est.get("expected_detection"),
+            "coverage_deficit": cov_est.get("coverage_deficit"),
+            "estimated_true_races": cov_est.get("true_dynamic"),
+            "races_in_period": cov_races.get("first_in_period"),
+        },
         "protocol_errors": {
             "total": sum(errors_by_code.values()),
             "by_code": {k: errors_by_code[k] for k in sorted(errors_by_code)},
@@ -169,6 +184,13 @@ _REQUIRED = {
     ("races", "dynamic"): int,
     ("races", "distinct"): int,
     ("shards",): list,
+    ("quality", "effective_rate"): None,
+    ("quality", "sync_sampled"): int,
+    ("quality", "sync_total"): int,
+    ("quality", "expected_detection"): None,
+    ("quality", "coverage_deficit"): None,
+    ("quality", "estimated_true_races"): None,
+    ("quality", "races_in_period"): None,
     ("protocol_errors", "total"): int,
     ("protocol_errors", "by_code"): dict,
     ("backpressure", "rx_buffer_high"): int,
@@ -270,6 +292,17 @@ def render_top(status: Mapping) -> str:
     lines.append(
         f"races {races['dynamic']} dynamic / {races['distinct']} distinct   "
         f"worker restarts {status['server']['worker_restarts']}"
+    )
+    qual = status["quality"]
+    eff = qual["effective_rate"]
+    est = qual["estimated_true_races"]
+    lines.append(
+        f"quality: effective rate "
+        f"{'-' if eff is None else format(eff, '.2%')} "
+        f"({qual['sync_sampled']:,}/{qual['sync_total']:,} sync ops)   "
+        f"est true races {'-' if est is None else format(est, ',.1f')}   "
+        f"deficit "
+        f"{'-' if qual['coverage_deficit'] is None else format(qual['coverage_deficit'], '.2%')}"
     )
     lines.append("")
     lines.append("shard  up  restarts  quar  queue  sessions")

@@ -37,6 +37,16 @@ from .perfetto import (
 from .prom import render_prometheus
 from .tracing import SpanRecorder, assemble_service_trace, chunk_flow_id
 from .provenance import FlightRecorder, SyncIndex, SyncIndexBuilder, extract_witness
+from .quality import (
+    COVERAGE_SCHEMA,
+    ProportionalityAuditor,
+    build_coverage,
+    coverage_from_sigs,
+    merge_coverage,
+    render_coverage,
+    validate_coverage,
+    write_coverage,
+)
 from .reports import (
     REPORT_SCHEMA,
     build_report,
@@ -49,31 +59,39 @@ from .reports import (
 )
 
 __all__ = [
+    "COVERAGE_SCHEMA",
     "Counter",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProportionalityAuditor",
     "REPORT_SCHEMA",
     "RunObserver",
     "SpanRecorder",
     "SyncIndex",
     "SyncIndexBuilder",
     "assemble_service_trace",
+    "build_coverage",
     "build_report",
     "chunk_flow_id",
+    "coverage_from_sigs",
     "render_prometheus",
     "chrome_trace",
     "extract_witness",
     "matrix_trace_events",
+    "merge_coverage",
     "merge_metric_dicts",
     "merge_reports",
     "race_flow_events",
+    "render_coverage",
     "render_report_markdown",
     "render_report_table",
     "report_from_sigs",
     "validate_chrome_trace",
+    "validate_coverage",
     "validate_report",
     "write_chrome_trace",
+    "write_coverage",
     "write_report",
 ]

@@ -151,6 +151,19 @@ class SpanRecorder:
             )
         return dur
 
+    def counter(self, name: str, value, tid: int = 0) -> None:
+        """Record a ``C`` counter sample at the current wall clock.
+
+        Perfetto renders consecutive samples of one name as a counter
+        track; the shard workers use this to plot the effective
+        sampling rate over service time (one sample per applied chunk,
+        so the hot path stays untouched).
+        """
+        self._append(
+            {"ph": "C", "name": name, "cat": "service", "ts": now_us(),
+             "pid": self.pid, "tid": tid, "args": {"value": value}}
+        )
+
     def thread_name(self, tid: int, name: str) -> None:
         """Record an ``M`` thread-name event for track ``tid``."""
         self._append(

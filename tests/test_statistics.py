@@ -55,6 +55,30 @@ class TestWilson:
         with pytest.raises(ValueError):
             wilson_interval(5, 3)
 
+    def test_zero_trials_rejected(self):
+        # 0/0 is undefined, not "no information": the coverage-report
+        # builder must special-case empty runs rather than call this
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(0, -5)
+
+    def test_negative_successes_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+
+    def test_matches_scipy_wilson_if_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        if not hasattr(scipy_stats, "binomtest"):
+            pytest.skip("scipy too old for binomtest.proportion_ci")
+        for successes, trials in [(0, 20), (3, 17), (50, 100), (20, 20)]:
+            lo, hi = wilson_interval(successes, trials)
+            ci = scipy_stats.binomtest(successes, trials).proportion_ci(
+                confidence_level=0.95, method="wilson"
+            )
+            assert lo == pytest.approx(ci.low, abs=1e-9)
+            assert hi == pytest.approx(ci.high, abs=1e-9)
+
     def test_binomial_ci_contains(self):
         assert binomial_ci_contains(10, 100, 0.10)
         assert not binomial_ci_contains(10, 100, 0.50)
@@ -98,3 +122,13 @@ class TestProportionality:
         p = 1 - (1 - r) ** k
         detections = sum(rng.random() < p for _ in range(trials))
         assert proportionality_consistent(detections, trials, r, k)
+
+    def test_rate_zero_edge(self):
+        # r=0 predicts zero detections: consistent only with none seen
+        assert proportionality_consistent(0, 100, 0.0)
+        assert not proportionality_consistent(5, 100, 0.0)
+
+    def test_rate_one_edge(self):
+        # r=1 predicts certain detection: consistent only with all seen
+        assert proportionality_consistent(50, 50, 1.0)
+        assert not proportionality_consistent(49, 50, 1.0)
