@@ -10,8 +10,9 @@ regression shows up as a trend, not a single noisy sample.
     python scripts/bench_trend.py --metric np    # filter by metric text
     python scripts/bench_trend.py --json         # machine-readable
 
-Stdlib only (plus the repo's own table renderer); no history file is
-not an error — CI machines without recorded runs just get a notice.
+Stdlib only (plus the repo's own table renderer).  A missing or empty
+history exits 2 with a one-line explanation on stderr — a CI step that
+*expected* a trend must fail loudly, not print an empty table and pass.
 """
 
 from __future__ import annotations
@@ -124,17 +125,31 @@ def main(argv=None) -> int:
 
     path = Path(args.history)
     if not path.exists():
-        print(f"no benchmark history at {path} (run `repro bench --record`)")
-        return 0
+        print(
+            f"error: no benchmark history at {path} "
+            "(run `repro bench --record` first)",
+            file=sys.stderr,
+        )
+        return 2
     trends = collect_trends(load_history(path))
+    if not trends:
+        print(
+            f"error: {path} contains no gate samples "
+            "(empty or unrecognized history)",
+            file=sys.stderr,
+        )
+        return 2
     if args.metric:
         trends = {
             label: samples for label, samples in trends.items()
             if args.metric.lower() in label.lower()
         }
-    if not trends:
-        print("no matching gate samples in history")
-        return 0
+        if not trends:
+            print(
+                f"error: no gate label matches --metric {args.metric!r}",
+                file=sys.stderr,
+            )
+            return 2
     if args.as_json:
         print(json.dumps(trends, indent=2, sort_keys=True))
         return 0

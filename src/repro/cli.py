@@ -34,7 +34,12 @@ Commands:
   worker processes, and serves the continuously merged race report
   (see docs/TELEMETRY.md).
 * ``stream``    — stream a trace file to a running server as one
-  session and print the server's summary.
+  session (through the self-healing ``ResilientClient``:
+  reconnect-with-resume, ``--retries``/``--backoff``) and print the
+  server's summary.
+* ``chaos-proxy`` — deterministic fault-injecting proxy between clients
+  and a server (``conn_drop``/``frame_corrupt``/… wire faults from
+  ``--fault-plan``), for resilience soaks.
 * ``report``    — query a running server's live merged report
   (``--follow`` to poll).
 * ``coverage``  — audit detection quality for one run: sync-op-weighted
@@ -1034,8 +1039,16 @@ def cmd_verify_trace(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the race-telemetry server until ^C (or ``--duration``)."""
-    import time
+    """Run the race-telemetry server until SIGTERM/^C (or ``--duration``).
+
+    Shutdown is always a *graceful drain*: stop accepting, wait for
+    in-flight chunks, flush spools plus a session manifest, then write
+    the final status/trace/metrics artifacts.  A restarted server
+    pointed at the same ``--spool-dir`` re-adopts the drained sessions
+    so resuming clients lose nothing.
+    """
+    import signal
+    import threading
 
     from .net import ServerConfig, TelemetryServer
 
@@ -1048,6 +1061,10 @@ def cmd_serve(args) -> int:
         spool_dir=args.spool_dir,
         log_path=args.log_out,
         http=args.http,
+        spool_quota_bytes=args.spool_quota,
+        memory_watermark_bytes=args.memory_watermark,
+        slow_client_timeout=args.slow_client_timeout,
+        drain_timeout=args.drain_timeout,
     )
     server = TelemetryServer(config)
     server.start()
@@ -1056,19 +1073,42 @@ def cmd_serve(args) -> int:
         Path(args.address_file).write_text(server.address + "\n", encoding="utf-8")
     print(f"serving {server.address} "
           f"({args.shards} {args.shard_mode} shard(s), "
-          f"{args.credits}-chunk credit window)")
+          f"{args.credits}-chunk credit window)", flush=True)
     if server.http_address:
         print(f"observability http on {server.http_address} "
-              "(/metrics /status /healthz)")
+              "(/metrics /status /healthz)", flush=True)
+    if server.adopted_sessions:
+        print(f"re-adopted {server.adopted_sessions} spooled session(s)",
+              flush=True)
+
+    # SIGTERM/SIGINT trip the event instead of killing the process, so
+    # shutdown always goes through drain(): no accepted chunk is lost
+    stop_event = threading.Event()
+    old_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            old_handlers[signum] = signal.signal(
+                signum, lambda *_: stop_event.set()
+            )
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
     try:
-        if args.duration is not None:
-            time.sleep(args.duration)
-        else:  # pragma: no cover - interactive path
-            while True:
-                time.sleep(3600)
-    except KeyboardInterrupt:  # pragma: no cover - interactive path
-        pass
+        try:
+            stop_event.wait(timeout=args.duration)
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
     finally:
+        for signum, handler in old_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        drained = server.drain()
+        print(
+            f"drained in {drained['seconds']:.3f}s "
+            f"({drained['drained']} session(s), "
+            f"{drained['evicted']} evicted)", flush=True,
+        )
         doc = server.query_doc()
         if args.status_out:
             with open(args.status_out, "w", encoding="utf-8") as fh:
@@ -1090,16 +1130,23 @@ def cmd_serve(args) -> int:
 
 
 def cmd_stream(args) -> int:
-    """Stream a trace file to a telemetry server as one session."""
-    from .net import TelemetryClient
+    """Stream a trace file to a telemetry server as one session.
+
+    Streams through :class:`~repro.net.ResilientClient`, so transient
+    connection loss, corrupted frames, and BUSY pushback are absorbed by
+    reconnect-with-resume inside the ``--retries`` budget.
+    """
+    from .net import ResilientClient
 
     trace = _load(Path(args.trace), args.format)
-    client = TelemetryClient(
+    client = ResilientClient(
         args.address,
         args.session,
         detector=args.detector,
         backend=args.state_backend,
         chunk_size=args.chunk_size,
+        retries=args.retries,
+        backoff_base=args.backoff,
     )
     client.connect()
     client.send_events(list(trace.events))
@@ -1111,17 +1158,93 @@ def cmd_stream(args) -> int:
                 "trace": args.trace,
                 "address": args.address,
                 "credit_waits": client.credit_waits,
+                "retries": client.retry_count,
                 **summary,
             }
         )
+    elif not summary:
+        # close() exhausted its retry budget without a server summary;
+        # every acked chunk is still durable server-side for a resume
+        print(
+            f"stream interrupted after {client.events_sent} event(s); "
+            f"server summary unavailable ({client.retry_count} retries)",
+            file=sys.stderr,
+        )
+        return 1
     else:
+        retried = (
+            f" ({client.retry_count} reconnect(s))" if client.retry_count
+            else ""
+        )
         print(
             f"streamed {summary['events']} events in {summary['chunks']} "
             f"chunk(s) as session {summary['session']!r}: "
             f"{summary['races']} race(s), "
-            f"{summary['distinct_races']} distinct"
+            f"{summary['distinct_races']} distinct{retried}"
         )
-    return 1 if summary["races"] and args.fail_on_race else 0
+    return 1 if summary.get("races") and args.fail_on_race else 0
+
+
+def cmd_chaos_proxy(args) -> int:
+    """Run a deterministic fault-injecting proxy in front of a server.
+
+    Sits between telemetry clients and a running ``repro serve``
+    instance and injects wire faults from ``--fault-plan`` (or
+    ``$REPRO_FAULT_PLAN``) — the CI chaos soak points clients here and
+    asserts the merged report is byte-identical to an offline analyze.
+    """
+    import time
+
+    from .net.chaos import ChaosProxy, wire_plan
+
+    plan = None
+    fault_text = args.fault_plan or os.environ.get(FAULT_PLAN_ENV, "")
+    if fault_text.strip():
+        try:
+            plan = wire_plan(fault_text)
+        except FaultPlanError as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
+    proxy = ChaosProxy(
+        args.listen,
+        args.upstream,
+        plan=plan,
+        seed=args.seed,
+        stall_seconds=args.stall_seconds,
+    )
+    proxy.start()
+    if args.address_file:
+        Path(args.address_file).write_text(proxy.address + "\n", encoding="utf-8")
+    spec = proxy.plan_spec() or "<transparent>"
+    print(f"chaos proxy {proxy.address} -> {args.upstream} "
+          f"(plan {spec!r}, seed {args.seed})", flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        proxy.stop()
+    stats = dict(proxy.stats)
+    if args.json:
+        _print_json({
+            "command": "chaos-proxy",
+            "listen": proxy.address,
+            "upstream": args.upstream,
+            "plan": proxy.plan_spec(),
+            "seed": args.seed,
+            "fired": proxy.fired(),
+            "stats": stats,
+        })
+    else:
+        print(
+            f"proxied {stats['connections']} connection(s), "
+            f"{stats['frames']} frame(s); {proxy.fired()} fault(s) fired"
+        )
+    return 0
 
 
 def cmd_net_report(args) -> int:
@@ -1503,6 +1626,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="PATH",
         help="write the merged service Perfetto trace on shutdown",
     )
+    p.add_argument(
+        "--spool-quota", type=int, default=None, metavar="BYTES",
+        help="per-session spool disk quota; sessions over it are evicted "
+        "(resumable after the server restarts or sheds load)",
+    )
+    p.add_argument(
+        "--memory-watermark", type=int, default=None, metavar="BYTES",
+        help="aggregate spool watermark: above it new sessions get BUSY "
+        "and credit grants are throttled",
+    )
+    p.add_argument(
+        "--slow-client-timeout", type=float, default=None, metavar="SECONDS",
+        help="evict attached sessions idle longer than this",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-drain wait for in-flight sessions on shutdown "
+        "(default 10)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("stream", help="stream a trace file to a server")
@@ -1517,9 +1659,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fail-on-race", action="store_true", help="exit 1 if races are found"
     )
+    p.add_argument(
+        "--retries", type=int, default=8,
+        help="reconnect-with-resume budget per operation (default 8)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base reconnect backoff; doubles per attempt, jittered "
+        "(default 0.05)",
+    )
     p.add_argument("--json", action="store_true")
     _add_backend_argument(p)
     p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser(
+        "chaos-proxy",
+        help="deterministic fault-injecting proxy for a telemetry server",
+    )
+    p.add_argument(
+        "--listen", default="tcp://127.0.0.1:0",
+        help="address to listen on (port 0 picks a free port)",
+    )
+    p.add_argument(
+        "--upstream", required=True,
+        help="the real telemetry server's address",
+    )
+    p.add_argument(
+        "--fault-plan", default=None, metavar="PLAN",
+        help="wire fault plan, e.g. 'conn_drop@seed%%5=1;frame_corrupt@7' "
+        f"(default: ${FAULT_PLAN_ENV}; empty = transparent proxy)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    p.add_argument(
+        "--stall-seconds", type=float, default=0.35,
+        help="pause injected by 'stall' faults (default 0.35)",
+    )
+    p.add_argument(
+        "--address-file",
+        help="write the bound listen address here (for scripted clients)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None,
+        help="proxy for N seconds then exit (default: until ^C)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_chaos_proxy)
 
     p = sub.add_parser("report", help="query a server's live merged report")
     p.add_argument("--address", required=True, help="server address")

@@ -24,12 +24,22 @@ Layers (see ``docs/TELEMETRY.md`` for the wire format and lifecycle):
   sequence) and :class:`TelemetryMonitor` (a
   :class:`~repro.live.RaceMonitor`-backed shim that forwards a real
   threaded program's events to a server instead of analyzing locally);
+* :mod:`repro.net.resilient` — :class:`ResilientClient`, the
+  self-healing wrapper every production path uses: automatic
+  reconnect-with-resume, seeded jittered backoff, bounded retry
+  budgets, and BUSY/``retry_after`` awareness;
+* :mod:`repro.net.chaos` — :class:`ChaosProxy`, a deterministic
+  fault-injecting proxy (connection drops, frame corruption and
+  truncation, stalls, duplication) driven by the shared
+  ``kind@selector[*times]`` fault-plan grammar;
 * :mod:`repro.net.http` — the observability sidecar (``/metrics``
-  Prometheus scrapes, ``/status`` JSON, ``/healthz``);
+  Prometheus scrapes, ``/status`` JSON, ``/healthz`` with drain-aware
+  load-balancer semantics);
 * :mod:`repro.net.top` — the ``repro top`` operator console and its
   versioned ``repro/top-status/v1`` machine-readable schema.
 """
 
+from .chaos import ChaosProxy, wire_plan
 from .client import TelemetryClient, TelemetryMonitor, parse_address, query_server
 from .protocol import (
     PROTOCOL_SCHEMA,
@@ -39,9 +49,12 @@ from .protocol import (
     FrameTruncated,
     PayloadError,
     ProtocolError,
+    ServerBusy,
+    SessionEvicted,
     SessionStateError,
     UnknownFrameType,
 )
+from .resilient import ResilientClient
 from .server import ServerConfig, TelemetryServer
 from .top import TOP_SCHEMA, build_top_status, render_top, validate_top_status
 
@@ -51,13 +64,17 @@ __all__ = [
     "build_top_status",
     "render_top",
     "validate_top_status",
+    "ChaosProxy",
     "FrameCorrupt",
     "FrameDecoder",
     "FrameTooLarge",
     "FrameTruncated",
     "PayloadError",
     "ProtocolError",
+    "ResilientClient",
+    "ServerBusy",
     "ServerConfig",
+    "SessionEvicted",
     "SessionStateError",
     "TelemetryClient",
     "TelemetryMonitor",
@@ -65,4 +82,5 @@ __all__ = [
     "UnknownFrameType",
     "parse_address",
     "query_server",
+    "wire_plan",
 ]

@@ -120,6 +120,9 @@ class TelemetryClient:
         self.credit_waits = 0
         self.events_sent = 0
         self.last_summary: Optional[Dict] = None
+        #: the transport/protocol error a failed :meth:`close` swallowed
+        #: (None after a clean close) — retry layers inspect this
+        self.close_error: Optional[Exception] = None
         #: wire-propagated tracing (connect/handshake/chunk-send/resume
         #: spans plus ``sent_ns`` chunk stamps); spans ship in a SPANS
         #: frame before CLOSE.  Cost is per chunk, never per event.
@@ -181,11 +184,24 @@ class TelemetryClient:
             self.unacked = [c for c in self.unacked if c.seq > ack.resume_seq]
             retransmit = self.unacked
             self.unacked = []
-            for chunk in retransmit:
-                self._send_chunk(chunk)
-                while self.credits <= 0:
-                    self.credit_waits += 1
-                    self._pump()
+            idx = 0
+            try:
+                while idx < len(retransmit):
+                    self._send_chunk(retransmit[idx])
+                    idx += 1
+                    while self.credits <= 0:
+                        self.credit_waits += 1
+                        self._pump()
+            except BaseException:
+                # exception-safe retransmit: the unsent tail must stay
+                # in the unacked buffer or the next resume would skip
+                # it and trip the server's sequence-gap check
+                have = {c.seq for c in self.unacked}
+                self.unacked.extend(
+                    c for c in retransmit[idx:] if c.seq not in have
+                )
+                self.unacked.sort(key=lambda c: c.seq)
+                raise
         return ack
 
     @property
@@ -307,9 +323,26 @@ class TelemetryClient:
             )
 
     def drain(self) -> None:
-        """Block until every sent chunk has been CREDIT-acknowledged."""
-        while self.unacked:
-            self._pump()
+        """Block until every sent chunk has been CREDIT-acknowledged.
+
+        Exception-safe: if the transport dies mid-drain the connection
+        is aborted (socket released, state consistent for a resume)
+        *before* the error propagates, and calling again on a dead
+        client with nothing pending is a no-op rather than an error.
+        """
+        if not self.unacked:
+            return
+        if self._sock is None:
+            raise ProtocolError(
+                f"cannot drain {len(self.unacked)} unacked chunk(s): "
+                f"client is not connected (reconnect with resume)"
+            )
+        try:
+            while self.unacked:
+                self._pump()
+        except (OSError, ProtocolError):
+            self.abort()
+            raise
 
     def query(self, trace: bool = False) -> Dict:
         """The server's live status document (merged report + roster).
@@ -340,11 +373,28 @@ class TelemetryClient:
         return len(events)
 
     def close(self) -> Dict:
-        """Drain, send CLOSE, await the summary, drop the connection."""
-        self.drain()
-        self.ship_spans()
-        self._send(Close(seq=self.next_seq - 1))
-        ack = self._wait_for(CloseAck)
+        """Drain, send CLOSE, await the summary, drop the connection.
+
+        Idempotent and exception-safe: closing an already-closed client
+        returns the cached summary, and a peer that crashes mid-close
+        no longer raises out of the ``with`` block — the connection is
+        aborted, the best-known summary is returned, and the swallowed
+        error is kept in :attr:`close_error` so retry layers (and
+        tests) can see what happened.  The session itself stays
+        resumable server-side; nothing acknowledged is lost.
+        """
+        if self._sock is None:
+            return self.last_summary or {}
+        self.close_error = None
+        try:
+            self.drain()
+            self.ship_spans()
+            self._send(Close(seq=self.next_seq - 1))
+            ack = self._wait_for(CloseAck)
+        except (OSError, ProtocolError) as exc:
+            self.close_error = exc
+            self.abort()
+            return self.last_summary or {}
         self.last_summary = ack.summary
         self.abort()
         return ack.summary
@@ -492,15 +542,23 @@ class TelemetryMonitor:
         detector: str = "fasttrack",
         backend: Optional[str] = None,
         chunk_size: int = 256,
-        client: Optional[TelemetryClient] = None,
+        client=None,
     ) -> None:
         # imported here: repro.live imports are heavier than this module
         from ..live import RaceMonitor
 
-        self.client = client or TelemetryClient(
-            address, session, detector=detector, backend=backend,
-            chunk_size=chunk_size,
-        )
+        if client is None:
+            # circular-import dance: resilient builds on this module
+            from .resilient import ResilientClient
+
+            # production monitoring defaults to the self-healing client:
+            # a dropped connection mid-run resumes instead of raising
+            # into the monitored program's threads
+            client = ResilientClient(
+                address, session, detector=detector, backend=backend,
+                chunk_size=chunk_size,
+            )
+        self.client = client
         self._fwd = ForwardingDetector(
             on_chunk=self._flush_buffered, chunk_size=chunk_size
         )

@@ -12,7 +12,11 @@ tooling without any new dependencies:
 * ``GET /status`` — the live ``repro/telemetry-status/v1`` document as
   JSON (the same document QUERY serves on the wire), for ``repro top``
   and scripted dashboards that prefer HTTP to the framed protocol.
-* ``GET /healthz`` — ``200 ok`` while the server is accepting.
+* ``GET /healthz`` — ``200 ok`` while the server is accepting; once a
+  graceful drain begins it answers ``503 draining`` (and after a full
+  stop, ``503 stopped``) so load balancers pull the instance *before*
+  the listener closes.  The lifecycle string also rides ``/status`` as
+  ``server.lifecycle``.
 
 Enable it with ``ServerConfig(http="127.0.0.1:9464")`` or ``repro serve
 --http``; port 0 binds an ephemeral port, published via
@@ -75,7 +79,17 @@ class _Handler(BaseHTTPRequestHandler):
                 body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
                 self._reply(200, body, "application/json")
             elif url.path == "/healthz":
-                self._reply(200, b"ok\n", "text/plain; charset=utf-8")
+                lifecycle = getattr(telemetry, "lifecycle", "serving")
+                if lifecycle == "serving":
+                    self._reply(200, b"ok\n", "text/plain; charset=utf-8")
+                else:
+                    # draining/stopped: tell load balancers to stop
+                    # routing while in-flight sessions finish
+                    self._reply(
+                        503,
+                        f"{lifecycle}\n".encode("utf-8"),
+                        "text/plain; charset=utf-8",
+                    )
             else:
                 self._reply(404, b"not found\n", "text/plain; charset=utf-8")
         except Exception as exc:  # pragma: no cover - defensive

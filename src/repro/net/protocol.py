@@ -84,6 +84,8 @@ __all__ = [
     "PayloadError",
     "HandshakeError",
     "SessionStateError",
+    "ServerBusy",
+    "SessionEvicted",
     "Hello",
     "HelloAck",
     "EventsChunk",
@@ -148,9 +150,16 @@ FRAME_NAMES: Dict[int, str] = {
 
 
 class ProtocolError(Exception):
-    """Base of every telemetry protocol failure; ``code`` names it."""
+    """Base of every telemetry protocol failure; ``code`` names it.
+
+    ``retry_after`` is advisory: a server that sheds load stamps the
+    seconds a well-behaved client should back off before reconnecting
+    (zero everywhere else).  It rides the ERROR frame's optional
+    ``retry_after`` field, so every named error can carry it.
+    """
 
     code = "protocol"
+    retry_after = 0.0
 
 
 class FrameTooLarge(ProtocolError):
@@ -195,6 +204,28 @@ class SessionStateError(ProtocolError):
     code = "session-state"
 
 
+class ServerBusy(ProtocolError):
+    """The server refused admission: at capacity, overloaded, or draining.
+
+    Unlike :class:`HandshakeError` (the request itself is wrong), BUSY
+    means *try again later*: the session name and configuration are fine,
+    the server just cannot take it right now.  ``retry_after`` carries
+    the server's suggested backoff.
+    """
+
+    code = "busy"
+
+
+class SessionEvicted(ProtocolError):
+    """The server evicted this session (quota exceeded or too slow).
+
+    The session's applied progress is kept and spooled; a later resume
+    reattaches.  ``retry_after`` carries the server's suggested backoff.
+    """
+
+    code = "evicted"
+
+
 #: code string -> exception class, for reconstructing server-sent errors
 ERROR_CLASSES: Dict[str, type] = {
     cls.code: cls
@@ -207,13 +238,20 @@ ERROR_CLASSES: Dict[str, type] = {
         PayloadError,
         HandshakeError,
         SessionStateError,
+        ServerBusy,
+        SessionEvicted,
     )
 }
 
 
-def error_for_code(code: str, detail: str) -> ProtocolError:
+def error_for_code(
+    code: str, detail: str, retry_after: float = 0.0
+) -> ProtocolError:
     """Rebuild the named error a peer reported in an ERROR frame."""
-    return ERROR_CLASSES.get(code, ProtocolError)(detail)
+    exc = ERROR_CLASSES.get(code, ProtocolError)(detail)
+    if retry_after:
+        exc.retry_after = retry_after
+    return exc
 
 
 # -- frame codec ---------------------------------------------------------------
@@ -450,13 +488,19 @@ class CloseAck:
 
 @dataclass(frozen=True)
 class ErrorMessage:
-    """A named protocol error, shipped before the sender closes."""
+    """A named protocol error, shipped before the sender closes.
+
+    ``retry_after`` (seconds, advisory) is only meaningful on
+    load-shedding codes (``busy``, ``evicted``); zero means "no advice"
+    and is omitted from the wire for compatibility with old peers.
+    """
 
     error_code: str
     detail: str
+    retry_after: float = 0.0
 
     def to_exception(self) -> ProtocolError:
-        return error_for_code(self.error_code, self.detail)
+        return error_for_code(self.error_code, self.detail, self.retry_after)
 
 
 @dataclass(frozen=True)
@@ -562,11 +606,10 @@ def encode_message(msg: Message, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
             FRAME_CLOSE_ACK, _json_payload({"summary": msg.summary}), max_frame
         )
     if isinstance(msg, ErrorMessage):
-        return encode_frame(
-            FRAME_ERROR,
-            _json_payload({"code": msg.error_code, "detail": msg.detail}),
-            max_frame,
-        )
+        doc = {"code": msg.error_code, "detail": msg.detail}
+        if msg.retry_after:
+            doc["retry_after"] = msg.retry_after
+        return encode_frame(FRAME_ERROR, _json_payload(doc), max_frame)
     if isinstance(msg, Query):
         doc = {"trace": True} if msg.trace else {}
         return encode_frame(FRAME_QUERY, _json_payload(doc), max_frame)
@@ -698,9 +741,20 @@ def decode_message(frame: Frame) -> Message:
         return CloseAck(summary=_field(frame, doc, "summary", dict))
     if ftype == FRAME_ERROR:
         doc = _json_doc(frame)
+        retry_after = doc.get("retry_after", 0.0)
+        if (
+            isinstance(retry_after, bool)
+            or not isinstance(retry_after, (int, float))
+            or retry_after < 0
+        ):
+            raise PayloadError(
+                f"error field 'retry_after' must be a number >= 0, "
+                f"got {retry_after!r}"
+            )
         return ErrorMessage(
             error_code=_field(frame, doc, "code", str),
             detail=_field(frame, doc, "detail", str),
+            retry_after=float(retry_after),
         )
     if ftype == FRAME_QUERY:
         doc = _json_doc(frame)

@@ -86,6 +86,8 @@ from .protocol import (
     ProtocolError,
     Query,
     Report,
+    ServerBusy,
+    SessionEvicted,
     SessionStateError,
     Sites,
     Spans,
@@ -116,6 +118,10 @@ LATENCY_BUCKETS_US = tuple(4 ** i for i in range(1, 14))
 #: itself never gives up on a shard)
 QUARANTINE_RESTARTS = 3
 
+#: session manifest a graceful drain writes into the spool directory so
+#: a restarted server (same ``--spool-dir``) re-adopts every session
+MANIFEST_NAME = "sessions.json"
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -143,6 +149,26 @@ class ServerConfig:
     #: ``host:port`` for the HTTP observability endpoint (``/metrics``
     #: Prometheus text, ``/status`` JSON, ``/healthz``); None = off
     http: Optional[str] = None
+    #: per-session spool disk quota in bytes (None = unlimited); a
+    #: session that outgrows it is *evicted* — its progress stays
+    #: durably spooled and resumable, but the connection is told to
+    #: go away (ERROR ``evicted`` + ``retry_after``)
+    spool_quota_bytes: Optional[int] = None
+    #: aggregate spool bytes across all sessions above which the server
+    #: defends itself: new sessions get BUSY and credit grants are
+    #: throttled by ``throttle_delay`` (None = off)
+    memory_watermark_bytes: Optional[int] = None
+    #: seconds an *attached* session may go frameless before the
+    #: sweeper evicts its connection (None = off); the session itself
+    #: stays resumable — only the slow socket is shed
+    slow_client_timeout: Optional[float] = None
+    #: advisory backoff stamped on BUSY and eviction errors
+    busy_retry_after: float = 1.0
+    #: sleep inserted before each credit grant above the watermark
+    throttle_delay: float = 0.05
+    #: max seconds :meth:`TelemetryServer.drain` waits for attached
+    #: sessions to finish before evicting the stragglers
+    drain_timeout: float = 10.0
 
 
 class _Session:
@@ -151,7 +177,8 @@ class _Session:
     __slots__ = (
         "name", "detector", "backend", "shard", "applied_seq",
         "spool_path", "attached", "closed", "site_names", "last_doc",
-        "chunks", "owner", "lock", "trace_id",
+        "chunks", "owner", "lock", "trace_id", "last_frame_at",
+        "spool_bytes",
     )
 
     def __init__(
@@ -177,6 +204,11 @@ class _Session:
         #: serializes the check-apply-spool-ack sequence so a takeover
         #: can never interleave with the superseded connection's frames
         self.lock = threading.Lock()
+        #: monotonic stamp of the last frame on the owning connection
+        #: (slow-client sweeper input)
+        self.last_frame_at = time.monotonic()
+        #: bytes this session has spooled (disk-quota accounting)
+        self.spool_bytes = 0
 
 
 def _read_spool(path: Path) -> List[List]:
@@ -230,6 +262,19 @@ class TelemetryServer:
         self._http_server = None
         #: bound address of the HTTP observability endpoint, once started
         self.http_address: Optional[str] = None
+        #: drain lifecycle: serving -> draining -> drained -> stopped
+        self._lifecycle = "serving"
+        self._lifecycle_lock = threading.Lock()
+        #: aggregate spooled bytes across sessions (watermark input)
+        self._spool_bytes_total = 0
+        #: sessions re-adopted from a previous server's manifest
+        self.adopted_sessions = 0
+        # prime the resilience series so scrapes and status documents
+        # carry them from the first sample, not the first incident
+        self.metrics.counter("net_shed_sessions")
+        self.metrics.counter("net_retries_total")
+        self.metrics.counter("net_throttled_credits")
+        self.metrics.gauge("net_drain_seconds").set(0)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -250,6 +295,10 @@ class TelemetryServer:
             chunk_delay=cfg.chunk_delay,
             crash_plan=cfg.crash_plan,
         )
+        # a previous server's graceful drain left a manifest here: adopt
+        # every spooled session *before* the listener opens, so resuming
+        # clients find their sessions durably re-applied
+        self._adopt_manifest()
         kind, target = parse_address(cfg.address)
         if kind == "tcp":
             host, port = target
@@ -320,12 +369,224 @@ class TelemetryServer:
             os.unlink(self._unix_path)
         if self._owns_spool and self._spool_dir is not None:
             shutil.rmtree(self._spool_dir, ignore_errors=True)
+        self._lifecycle = "stopped"
 
     def __enter__(self) -> "TelemetryServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # -- graceful drain / restart --------------------------------------------
+
+    @property
+    def lifecycle(self) -> str:
+        """``serving`` → ``draining`` → ``drained`` → ``stopped``."""
+        return self._lifecycle
+
+    def drain(self, timeout: Optional[float] = None) -> Dict:
+        """Graceful-shutdown prologue: stop accepting, finish, flush.
+
+        The sequence load balancers and clients can rely on:
+
+        1. lifecycle flips to ``draining`` — ``/healthz`` starts
+           answering 503 and new sessions get BUSY — and the listener
+           closes, so nothing new connects;
+        2. attached sessions get up to ``timeout`` seconds (default
+           ``drain_timeout``) to finish their in-flight chunks; every
+           chunk acknowledged during the wait is durably applied and
+           spooled as usual;
+        3. stragglers are evicted (ERROR ``evicted`` + ``retry_after``)
+           — shed, not lost: their spools survive;
+        4. every session is finalized and the manifest
+           (``sessions.json``) is written into the spool directory, so
+           a restarted server on the same ``--spool-dir`` re-adopts
+           everything and resuming clients lose nothing.
+
+        Idempotent; returns a small summary dict and records the wall
+        clock spent in the ``net_drain_seconds`` gauge.
+        """
+        with self._lifecycle_lock:
+            if self._lifecycle != "serving":
+                return {"lifecycle": self._lifecycle, "drained": 0, "evicted": 0}
+            self._lifecycle = "draining"
+        drain_start = time.monotonic()
+        if timeout is None:
+            timeout = self.config.drain_timeout
+        self._log("draining: listener closing, waiting for attached sessions")
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        deadline = drain_start + timeout
+        while time.monotonic() < deadline:
+            with self._sessions_lock:
+                attached = [s for s in self._sessions.values() if s.attached]
+            if not attached:
+                break
+            time.sleep(0.05)
+        evicted = 0
+        with self._sessions_lock:
+            stragglers = [s for s in self._sessions.values() if s.attached]
+        for sess in stragglers:
+            self._evict(sess, f"server draining (deadline {timeout:.1f}s)")
+            evicted += 1
+        for thread in list(self._conn_threads):
+            thread.join(timeout=2.0)
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for sess in sessions:
+            try:
+                self._finalize_session(sess)
+            except ShardCrashed as exc:  # pragma: no cover - defensive
+                self._recover(exc.shard)
+        self._write_manifest()
+        drain_seconds = time.monotonic() - drain_start
+        self.metrics.gauge("net_drain_seconds").set_max(
+            round(drain_seconds, 6)
+        )
+        self.recorder.instant(
+            "drain",
+            args={"sessions": len(sessions), "evicted": evicted,
+                  "seconds": round(drain_seconds, 3)},
+        )
+        self._lifecycle = "drained"
+        self._log(
+            f"drained in {drain_seconds:.3f}s: {len(sessions)} session(s) "
+            f"flushed, {evicted} straggler(s) evicted"
+        )
+        return {
+            "lifecycle": self._lifecycle,
+            "drained": len(sessions),
+            "evicted": evicted,
+            "seconds": drain_seconds,
+        }
+
+    def _write_manifest(self) -> None:
+        """Persist the session registry next to the spools."""
+        if self._spool_dir is None:
+            return
+        with self._sessions_lock:
+            sessions = sorted(self._sessions.values(), key=lambda s: s.name)
+            doc = {
+                "schema": STATUS_SCHEMA + "+manifest",
+                "trace_counter": self._trace_counter,
+                "sessions": [
+                    {
+                        "name": sess.name,
+                        "detector": sess.detector,
+                        "backend": sess.backend,
+                        "spool": sess.spool_path.name,
+                        "applied_seq": sess.applied_seq,
+                        "chunks": sess.chunks,
+                        "trace_id": sess.trace_id,
+                        "closed": sess.closed,
+                        "site_names": {
+                            str(k): v for k, v in sess.site_names.items()
+                        },
+                    }
+                    for sess in sessions
+                ],
+            }
+        path = self._spool_dir / MANIFEST_NAME
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def _adopt_manifest(self) -> None:
+        """Rebuild sessions a drained predecessor left in the spool dir.
+
+        The same replay path crash recovery uses — open, site table,
+        spooled chunks in order — so adopted detector state is
+        byte-identical to the state the old server held, and a client
+        resuming here continues exactly where its CREDIT stream stopped.
+        """
+        assert self._pool is not None
+        if self._spool_dir is None:
+            return
+        path = self._spool_dir / MANIFEST_NAME
+        if not path.exists():
+            return
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        for entry in doc.get("sessions", []):
+            spool = self._spool_dir / entry["spool"]
+            sess = _Session(
+                entry["name"], entry["detector"], entry.get("backend"),
+                shard=self._pool.shard_of(entry["name"]), spool_path=spool,
+                trace_id=entry.get("trace_id", 0),
+            )
+            sess.applied_seq = entry["applied_seq"]
+            sess.chunks = entry.get("chunks", 0)
+            sess.closed = entry.get("closed", False)
+            sess.site_names = {
+                int(k): v for k, v in entry.get("site_names", {}).items()
+            }
+            sess.spool_bytes = spool.stat().st_size if spool.exists() else 0
+            self._pool.open_session(
+                sess.name, sess.detector, sess.backend, trace_id=sess.trace_id
+            )
+            if sess.site_names:
+                self._pool.add_sites(sess.name, dict(sess.site_names))
+            for events in _read_spool(sess.spool_path):
+                self._pool.apply(sess.name, events, {"replay": True})
+            self._finalize_session(sess)
+            with self._sessions_lock:
+                self._sessions[sess.name] = sess
+                self._spool_bytes_total += sess.spool_bytes
+            self.adopted_sessions += 1
+            self._log(
+                f"adopted session {sess.name} at seq {sess.applied_seq} "
+                f"({sess.spool_bytes} spooled byte(s))"
+            )
+        self._trace_counter = max(
+            self._trace_counter, doc.get("trace_counter", 0)
+        )
+        if self.adopted_sessions:
+            self.metrics.counter("net_sessions_adopted").inc(
+                self.adopted_sessions
+            )
+            self._log(
+                f"adopted {self.adopted_sessions} session(s) from "
+                f"{path.name}"
+            )
+
+    def _busy(self, why: str) -> None:
+        """Refuse admission with a BUSY error carrying ``retry_after``."""
+        self.metrics.counter("net_shed_sessions").inc()
+        exc = ServerBusy(f"{why} — retry later")
+        exc.retry_after = self.config.busy_retry_after
+        raise exc
+
+    def _evict(self, sess: _Session, why: str) -> None:
+        """Shed one attached session's connection (session survives)."""
+        with sess.lock:
+            sock = sess.owner if sess.attached else None
+            if sock is None:
+                return
+            self.metrics.counter("net_shed_sessions").inc()
+            self.metrics.counter(
+                "net_protocol_errors", code=SessionEvicted.code
+            ).inc()
+            self._send(
+                sock,
+                ErrorMessage(
+                    error_code=SessionEvicted.code,
+                    detail=f"session {sess.name!r} evicted: {why}",
+                    retry_after=self.config.busy_retry_after,
+                ),
+            )
+            self.recorder.instant(
+                "evict", args={"session": sess.name, "why": why}
+            )
+            self._log(f"session {sess.name} evicted: {why}")
+        # closing outside the lock: the conn thread's recv fails, and its
+        # cleanup path (which takes the lock) detaches and finalizes
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already dead
+            pass
 
     # -- accept / connection loops -------------------------------------------
 
@@ -335,6 +596,7 @@ class TelemetryServer:
             try:
                 sock, _addr = self._listener.accept()
             except socket.timeout:
+                self._sweep_slow_clients()
                 continue
             except OSError:
                 return  # listener closed
@@ -350,6 +612,31 @@ class TelemetryServer:
             sock.sendall(encode_message(msg, self.config.max_frame))
         except OSError:  # pragma: no cover - peer vanished mid-send
             pass
+
+    def _sweep_slow_clients(self) -> None:
+        """Evict attached sessions whose connection went quiet too long.
+
+        Runs on the accept loop's idle tick.  A slow client holds a
+        session lock nobody else can take over (a resume would *takeover*
+        only after its EOF) and pins spool/credit state; shedding the
+        socket — never the session — frees the server while keeping the
+        client's progress resumable.
+        """
+        timeout = self.config.slow_client_timeout
+        if timeout is None:
+            return
+        now = time.monotonic()
+        with self._sessions_lock:
+            candidates = [
+                s for s in self._sessions.values()
+                if s.attached and now - s.last_frame_at > timeout
+            ]
+        for sess in candidates:
+            self._evict(
+                sess,
+                f"no frame in {now - sess.last_frame_at:.1f}s "
+                f"(slow-client timeout {timeout:.1f}s)",
+            )
 
     def _serve_connection(self, sock: socket.socket) -> None:
         decoder = FrameDecoder(self.config.max_frame)
@@ -383,6 +670,8 @@ class TelemetryServer:
                         max((time.monotonic_ns() - decode_start) // 1000, 0)
                     )
                     sess = self._handle(sock, sess, msg, conn_tid)
+                    if sess is not None:
+                        sess.last_frame_at = time.monotonic()
                     decode_start = time.monotonic_ns()
                 # true high-watermark: the gauge only ever rises, and the
                 # hot path touches it just when a new peak is observed
@@ -396,7 +685,14 @@ class TelemetryServer:
                 f"protocol error on {sess.name if sess else '<no session>'}: "
                 f"[{exc.code}] {exc}"
             )
-            self._send(sock, ErrorMessage(error_code=exc.code, detail=str(exc)))
+            self._send(
+                sock,
+                ErrorMessage(
+                    error_code=exc.code,
+                    detail=str(exc),
+                    retry_after=getattr(exc, "retry_after", 0.0),
+                ),
+            )
         finally:
             if sess is not None:
                 with sess.lock:
@@ -481,12 +777,35 @@ class TelemetryServer:
         stall_hist = self.metrics.histogram(
             "net_credit_stall_us", buckets=LATENCY_BUCKETS_US
         )
+        retries = 0
         for ev in spans.events:
             # fold client-observed credit stalls into the scrape metrics
             if ev.get("ph") == "X" and ev.get("name") == "credit-stall":
                 dur = ev.get("dur")
                 if isinstance(dur, (int, float)) and dur >= 0:
                     stall_hist.observe(int(dur))
+            # mine client-recorded reconnects: the server-side view of
+            # wire instability, without touching per-session metrics
+            elif ev.get("ph") == "i" and ev.get("name") == "reconnect":
+                retries += 1
+        if retries:
+            # re-shipped batches replace the previous one (below), so
+            # count only the growth since this sender's last batch
+            with self._spans_lock:
+                prior = next(
+                    (
+                        sum(
+                            1 for pev in g["events"]
+                            if pev.get("ph") == "i"
+                            and pev.get("name") == "reconnect"
+                        )
+                        for g in self._client_spans
+                        if (g["pid"], g["name"]) == (spans.pid, spans.name)
+                    ),
+                    0,
+                )
+            if retries > prior:
+                self.metrics.counter("net_retries_total").inc(retries - prior)
         with self._spans_lock:
             # one batch per (pid, name): a resume re-ships the whole
             # buffer, so keep only the latest batch from each sender
@@ -531,10 +850,25 @@ class TelemetryServer:
                         f"session {hello.session!r} already exists "
                         f"(reconnect with resume)"
                     )
+                # admission control: a *new* session can be refused with
+                # BUSY ("try later"); resumes always pass — they finish
+                # work the server already holds state for
+                if self._lifecycle != "serving":
+                    self._busy(f"server is {self._lifecycle}")
                 if len(self._sessions) >= self.config.max_sessions:
-                    raise HandshakeError(
+                    self._busy(
                         f"session limit reached "
                         f"({self.config.max_sessions} sessions)"
+                    )
+                watermark = self.config.memory_watermark_bytes
+                if (
+                    watermark is not None
+                    and self._spool_bytes_total >= watermark
+                ):
+                    self._busy(
+                        f"memory watermark exceeded "
+                        f"({self._spool_bytes_total} >= {watermark} "
+                        f"spooled byte(s))"
                     )
                 spool = self._spool_dir / f"{len(self._sessions):04d}.spool"
                 self._trace_counter += 1
@@ -651,8 +985,33 @@ class TelemetryServer:
                 fh.write(payload)
             sess.applied_seq = chunk.seq
             sess.chunks += 1
+            spooled = 4 + len(payload)
+            sess.spool_bytes += spooled
+            with self._sessions_lock:
+                self._spool_bytes_total += spooled
+                spool_total = self._spool_bytes_total
             self.metrics.counter("net_chunks_total").inc()
             self.metrics.counter("net_events_total").inc(len(events))
+            self.metrics.gauge("net_spool_bytes").set_max(spool_total)
+            quota = self.config.spool_quota_bytes
+            if quota is not None and sess.spool_bytes > quota:
+                # the chunk itself is durably applied and spooled — ack
+                # it, then shed the connection: the named eviction error
+                # (with retry advice) is the last frame this socket sees
+                self._send(sock, Credit(ack=chunk.seq, credits=1))
+                self.metrics.counter("net_shed_sessions").inc()
+                exc = SessionEvicted(
+                    f"session {sess.name!r} exceeded its spool quota "
+                    f"({sess.spool_bytes} > {quota} byte(s))"
+                )
+                exc.retry_after = self.config.busy_retry_after
+                raise exc
+            watermark = self.config.memory_watermark_bytes
+            if watermark is not None and spool_total >= watermark:
+                # overload defense: grant the credit late, so the whole
+                # client fleet's send rate degrades before memory does
+                self.metrics.counter("net_throttled_credits").inc()
+                time.sleep(self.config.throttle_delay)
             self._send(sock, Credit(ack=chunk.seq, credits=1))
 
     def _handle_close(self, sock, sess: _Session, close: Close) -> None:
@@ -817,6 +1176,23 @@ class TelemetryServer:
                 "rx_buffer_high": self.rx_buffer_high,
                 "shards": self.config.n_shards,
                 "shard_mode": self.config.shard_mode,
+                "lifecycle": self._lifecycle,
+                "resilience": {
+                    "shed_sessions": self.metrics.counter(
+                        "net_shed_sessions"
+                    ).value,
+                    "retries": self.metrics.counter(
+                        "net_retries_total"
+                    ).value,
+                    "throttled_credits": self.metrics.counter(
+                        "net_throttled_credits"
+                    ).value,
+                    "drain_seconds": self.metrics.gauge(
+                        "net_drain_seconds"
+                    ).value,
+                    "adopted_sessions": self.adopted_sessions,
+                    "spool_bytes": self._spool_bytes_total,
+                },
             },
         }
         self.merge_recorder.span(

@@ -165,6 +165,21 @@ def build_top_status(
             "worker_restarts": int(server.get("worker_restarts", 0)),
             "shards": n_shards,
             "shard_mode": str(server.get("shard_mode", "")),
+            "lifecycle": str(server.get("lifecycle", "serving")),
+        },
+        "resilience": {
+            "retries": _counter(metrics, "net_retries_total"),
+            "shed_sessions": _counter(metrics, "net_shed_sessions"),
+            "throttled_credits": _counter(metrics, "net_throttled_credits"),
+            "drain_seconds": (server.get("resilience") or {}).get(
+                "drain_seconds", 0
+            ),
+            "adopted_sessions": int(
+                (server.get("resilience") or {}).get("adopted_sessions", 0)
+            ),
+            "spool_bytes": int(
+                (server.get("resilience") or {}).get("spool_bytes", 0)
+            ),
         },
     }
 
@@ -201,6 +216,13 @@ _REQUIRED = {
     ("server", "worker_restarts"): int,
     ("server", "shards"): int,
     ("server", "shard_mode"): str,
+    ("server", "lifecycle"): str,
+    ("resilience", "retries"): int,
+    ("resilience", "shed_sessions"): int,
+    ("resilience", "throttled_credits"): int,
+    ("resilience", "drain_seconds"): None,
+    ("resilience", "adopted_sessions"): int,
+    ("resilience", "spool_bytes"): int,
 }
 
 _SHARD_KEYS = {
@@ -278,9 +300,11 @@ def render_top(status: Mapping) -> str:
     ch = status["chunks"]
     races = status["races"]
     bp = status["backpressure"]
+    lifecycle = status["server"].get("lifecycle", "serving")
     lines.append(
         f"repro top — {status['address']}  "
         f"[{status['server']['shard_mode']} x{status['server']['shards']}]"
+        + ("" if lifecycle == "serving" else f"  ** {lifecycle.upper()} **")
     )
     lines.append(
         f"sessions {sess['total']} "
@@ -320,6 +344,16 @@ def render_top(status: Mapping) -> str:
         f"chunk lag mean {_fmt_us(bp['chunk_lag_us_mean'])}   "
         f"dup chunks {bp['duplicate_chunks']}"
     )
+    res = status.get("resilience") or {}
+    if any(res.get(k) for k in ("retries", "shed_sessions",
+                                "throttled_credits", "adopted_sessions")):
+        lines.append(
+            f"resilience: retries {res.get('retries', 0)}   "
+            f"shed {res.get('shed_sessions', 0)}   "
+            f"throttled credits {res.get('throttled_credits', 0)}   "
+            f"adopted {res.get('adopted_sessions', 0)}   "
+            f"spool {res.get('spool_bytes', 0):,}B"
+        )
     errs = status["protocol_errors"]
     if errs["total"]:
         by = ", ".join(f"{k}={v}" for k, v in errs["by_code"].items())

@@ -55,6 +55,7 @@ from typing import Mapping, Optional, Tuple
 
 __all__ = [
     "FAULT_KINDS",
+    "WIRE_FAULT_KINDS",
     "FAULT_PLAN_ENV",
     "FaultInjected",
     "FaultPlanError",
@@ -69,6 +70,22 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: the four failure modes a worker can exhibit
 FAULT_KINDS = ("crash", "hang", "raise", "corrupt")
+
+#: wire-level failure modes, actuated by :class:`repro.net.chaos.ChaosProxy`
+#: against telemetry frames instead of worker processes.  Same grammar,
+#: different actuator: the selector's *index* is the frame's position on
+#: its connection and *seed* is a pure position hash of (plan seed,
+#: connection, frame), so one plan string replays the identical
+#: byte-level fault sequence on every run — even though retransmitted
+#: frames carry fresh wall-clock stamps.
+WIRE_FAULT_KINDS = (
+    "conn_drop",       # close both sides before forwarding the frame
+    "frame_corrupt",   # flip one byte inside the frame, then forward
+    "frame_truncate",  # forward a prefix of the frame, then drop the link
+    "stall",           # long pause before forwarding (slow-client shape)
+    "delay",           # short pause before forwarding (jittery link)
+    "dup",             # forward the frame twice
+)
 
 #: exit code of an injected crash — distinctive in quarantine reports
 CRASH_EXIT_CODE = 86
@@ -121,14 +138,14 @@ class FaultRule:
         return f"{self.kind}@{sel}{times}"
 
 
-def _parse_rule(text: str) -> FaultRule:
+def _parse_rule(text: str, kinds: Tuple[str, ...] = FAULT_KINDS) -> FaultRule:
     head, sep, sel = text.partition("@")
     if not sep:
         raise FaultPlanError(f"fault rule {text!r} is missing '@selector'")
     kind = head.strip()
-    if kind not in FAULT_KINDS:
+    if kind not in kinds:
         raise FaultPlanError(
-            f"unknown fault kind {kind!r} (choices: {', '.join(FAULT_KINDS)})"
+            f"unknown fault kind {kind!r} (choices: {', '.join(kinds)})"
         )
     sel = sel.strip()
     times = 1
@@ -177,10 +194,17 @@ class FaultPlan:
     rules: Tuple[FaultRule, ...]
 
     @classmethod
-    def parse(cls, text: str) -> "FaultPlan":
-        """Parse the grammar documented in the module docstring."""
+    def parse(
+        cls, text: str, kinds: Tuple[str, ...] = FAULT_KINDS
+    ) -> "FaultPlan":
+        """Parse the grammar documented in the module docstring.
+
+        ``kinds`` selects the vocabulary: :data:`FAULT_KINDS` for worker
+        faults (the default), :data:`WIRE_FAULT_KINDS` for the network
+        chaos proxy.  The rule/selector/times grammar is shared.
+        """
         rules = tuple(
-            _parse_rule(chunk.strip())
+            _parse_rule(chunk.strip(), kinds)
             for chunk in text.split(";")
             if chunk.strip()
         )
@@ -189,10 +213,14 @@ class FaultPlan:
         return cls(rules)
 
     @classmethod
-    def from_env(cls, env: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+    def from_env(
+        cls,
+        env: Optional[Mapping[str, str]] = None,
+        kinds: Tuple[str, ...] = FAULT_KINDS,
+    ) -> Optional["FaultPlan"]:
         """The plan in ``REPRO_FAULT_PLAN``, or None when unset/empty."""
         text = (env if env is not None else os.environ).get(FAULT_PLAN_ENV, "")
-        return cls.parse(text) if text.strip() else None
+        return cls.parse(text, kinds) if text.strip() else None
 
     def match(self, index: int, seed: int, attempt: int) -> Optional[FaultRule]:
         """The first rule firing for this (task, attempt), or None."""
